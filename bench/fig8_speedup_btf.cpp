@@ -1,0 +1,31 @@
+// Reproduces paper Fig. 8: normalized speedup of SWAT over the Butterfly
+// accelerator in BTF-1 and BTF-2 configurations, N = 1024 .. 16384.
+#include <iostream>
+
+#include "baselines/butterfly.hpp"
+#include "eval/calibration.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using swat::eval::Table;
+  std::cout << "=== Paper Fig. 8: SWAT speedup over Butterfly ===\n"
+            << "(model: " << swat::calib::kModelLayers << " layers x "
+            << swat::calib::kModelHeads
+            << " heads; Butterfly projected at its optimal FFT/ATTN engine "
+               "resource split)\n\n";
+
+  Table t({"N", "SWAT vs BTF-1", "SWAT vs BTF-2", "BTF-1 ATTN fabric r*"});
+  const swat::baselines::ButterflyModel btf1(
+      swat::baselines::ButterflyConfig::btf(1));
+  for (const auto& r : swat::eval::fig8_speedups()) {
+    t.add_row({std::to_string(r.seq_len), Table::times(r.speedup_vs_btf1),
+               Table::times(r.speedup_vs_btf2),
+               Table::pct(btf1.project(r.seq_len).attn_fraction)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper anchors: 6.7x (BTF-1) and 12.2x (BTF-2) at N=4096;\n"
+               "~22x / ~40x at N=16384; monotone growth with N.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 9: energy efficiency of SWAT against the Butterfly
+// accelerator (BTF-1/BTF-2) and the MI210 GPU (dense / sliding-chunks), in
+// FP16 and FP32.
+#include <iostream>
+
+#include "baselines/butterfly.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+#include "swat/power_model.hpp"
+
+int main() {
+  using swat::eval::Table;
+  std::cout << "=== Paper Fig. 9: energy efficiency of SWAT ===\n\n";
+  std::cout << "Modelled average power: SWAT FP16 "
+            << Table::num(
+                   swat::swat_power(swat::SwatConfig::longformer_512()).value,
+                   1)
+            << " W, SWAT FP32 "
+            << Table::num(swat::swat_power(swat::SwatConfig::longformer_512(
+                                               swat::Dtype::kFp32))
+                              .value,
+                          1)
+            << " W, Butterfly "
+            << Table::num(swat::baselines::ButterflyModel(
+                              swat::baselines::ButterflyConfig::btf(1))
+                              .power()
+                              .value,
+                          1)
+            << " W, MI210 300 W (paper's figure).\n\n";
+
+  Table t({"N", "FP16 vs BTF-1", "FP16 vs BTF-2", "FP16 vs GPU dense",
+           "FP16 vs GPU chunks", "FP32 vs GPU dense", "FP32 vs GPU chunks"});
+  for (const auto& r : swat::eval::fig9_energy_efficiency()) {
+    t.add_row({std::to_string(r.seq_len), Table::times(r.fp16_vs_btf1),
+               Table::times(r.fp16_vs_btf2),
+               Table::times(r.fp16_vs_gpu_dense),
+               Table::times(r.fp16_vs_gpu_chunks),
+               Table::times(r.fp32_vs_gpu_dense),
+               Table::times(r.fp32_vs_gpu_chunks)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper anchors: 11.4x / 21.9x over BTF-1 / BTF-2 at 16k;\n"
+               "FP32 vs dense GPU ~20x at 1k, minimum ~4.2x at 8k, ~8.4x at\n"
+               "16k (the U-shaped curve).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks of the host-side kernels (the
+// reference/oracle implementations — useful when scaling the test suite
+// and for documenting the C++ model's own costs).
+#include <benchmark/benchmark.h>
+
+#include "attention/fused.hpp"
+#include "attention/sliding_chunks.hpp"
+#include "attention/window.hpp"
+#include "swat/functional_sim.hpp"
+#include "tensor/kernels.hpp"
+
+namespace {
+
+swat::attn::HeadInput make_input(std::int64_t n, std::int64_t h) {
+  swat::Rng rng(42);
+  return swat::attn::random_head_input(n, h, rng);
+}
+
+void BM_DenseAttention(benchmark::State& state) {
+  const auto in = make_input(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swat::attn::dense_attention(in));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseAttention)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_WindowAttention(benchmark::State& state) {
+  const auto in = make_input(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swat::attn::window_attention(in, 64));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WindowAttention)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Complexity();
+
+void BM_SlidingChunks(benchmark::State& state) {
+  const auto in = make_input(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swat::attn::sliding_chunks_attention(in, 64));
+  }
+}
+BENCHMARK(BM_SlidingChunks)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FusedWindowFp16(benchmark::State& state) {
+  const auto in = make_input(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swat::attn::fused_window_attention_fp16(in, 32));
+  }
+}
+BENCHMARK(BM_FusedWindowFp16)->Arg(256)->Arg(512);
+
+void BM_FunctionalSimulator(benchmark::State& state) {
+  swat::SwatConfig cfg;
+  cfg.head_dim = 64;
+  cfg.window_cores = 64;
+  const auto in = make_input(state.range(0), 64);
+  const swat::FunctionalSimulator sim(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(in));
+  }
+}
+BENCHMARK(BM_FunctionalSimulator)->Arg(256)->Arg(512);
+
+void BM_Softmax(benchmark::State& state) {
+  swat::Rng rng(1);
+  swat::MatrixF m = swat::random_normal(state.range(0), 512, rng);
+  for (auto _ : state) {
+    swat::MatrixF copy = m;
+    swat::row_softmax_stable(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces paper Table 2: post-synthesis resource usage on the U55C for
+// the four SWAT configurations, with the published Butterfly row for
+// comparison, plus the structural breakdown behind each row.
+#include <iostream>
+
+#include "eval/table.hpp"
+#include "swat/resource_model.hpp"
+
+namespace {
+
+std::string pct(int v) { return std::to_string(v) + "%"; }
+
+}  // namespace
+
+int main() {
+  using swat::eval::Table;
+  std::cout << "=== Paper Table 2: resource usage on U55C/VCU128 ===\n\n";
+
+  struct Row {
+    const char* name;
+    swat::SwatConfig cfg;
+  };
+  const Row rows[] = {
+      {"FP16 (512 attn)", swat::SwatConfig::longformer_512()},
+      {"FP16 (BigBird 512 attn)", swat::SwatConfig::bigbird_512()},
+      {"FP16 (BigBird 2 x 512 attn)", swat::SwatConfig::bigbird_dual_512()},
+      {"FP32 (512 attn)",
+       swat::SwatConfig::longformer_512(swat::Dtype::kFp32)},
+  };
+
+  Table t({"Design", "DSP", "LUT", "FF", "BRAM"});
+  for (const auto& r : rows) {
+    const auto u = swat::table2_utilization(r.cfg);
+    t.add_row({r.name, pct(u.dsp_pct), pct(u.lut_pct), pct(u.ff_pct),
+               pct(u.bram_pct)});
+  }
+  const auto b = swat::butterfly_published_utilization();
+  t.add_row({"Butterfly (FP16, 120-BE) [published]", pct(b.dsp_pct),
+             pct(b.lut_pct), pct(b.ff_pct), pct(b.bram_pct)});
+  t.print(std::cout);
+
+  std::cout << "\n-- structural breakdown (FP16, 512 attn) --\n";
+  const auto bd = swat::estimate_resources(swat::SwatConfig::longformer_512());
+  Table d({"section", "DSP", "LUT", "FF", "BRAM"});
+  const auto add = [&](const char* name, const swat::hw::ResourceVector& v) {
+    d.add_row({name, std::to_string(v.dsp), std::to_string(v.lut),
+               std::to_string(v.ff), std::to_string(v.bram)});
+  };
+  add("attention cores", bd.cores);
+  add("reduction trees", bd.reduction);
+  add("divider bank", bd.dividers);
+  add("control + AXI", bd.control);
+  add("total", bd.total());
+  d.print(std::cout);
+
+  std::cout << "\nPaper anchors: 19/38/11/25, 19/33/11/25, 38/66/22/50,\n"
+               "49/67/23/25 (percent, truncated) for the four SWAT rows.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// BigBird on SWAT: the parameterized design of paper §4.1 / Fig. 7.
+//
+// Configures the 192-window + 192-random + 128-global core split (the
+// paper's BigBird build), validates the functional output against the
+// masked-attention oracle, and shows the LOAD-stage latency increase that
+// the pipeline absorbs, plus the dual-pipeline variant.
+#include <iostream>
+
+#include "attention/reference.hpp"
+#include "eval/table.hpp"
+#include "swat/analytic.hpp"
+#include "swat/functional_sim.hpp"
+#include "swat/resource_model.hpp"
+#include "swat/stage_latency.hpp"
+#include "tensor/kernels.hpp"
+
+int main() {
+  using swat::eval::Table;
+  const swat::SwatConfig cfg = swat::SwatConfig::bigbird_512();
+  std::cout << "BigBird-configured SWAT: " << cfg.summary() << "\n\n";
+
+  // --- The static pattern the cores realize.
+  const std::int64_t seq_len = 2048;
+  const swat::attn::AttentionPattern pattern(cfg.pattern_spec(seq_len));
+  std::cout << "Pattern for " << seq_len << " tokens:\n"
+            << "  attended pairs : " << pattern.nnz() << "\n"
+            << "  mask density   : " << pattern.density() * 100.0 << "%\n"
+            << "  global tokens  : " << pattern.global_tokens().size()
+            << "\n\n";
+
+  // --- Functional validation against the masked oracle.
+  swat::Rng rng(11);
+  const auto head = swat::attn::random_head_input(seq_len, cfg.head_dim, rng);
+  const auto res = swat::FunctionalSimulator(cfg).run(head);
+  const auto oracle = swat::attn::masked_attention(head, pattern);
+  std::cout << "Functional check vs masked fp32 oracle: max |err| = "
+            << swat::max_abs_diff(res.z, oracle) << "\n";
+  std::cout << "K/V loads — window: " << res.window_core_loads
+            << " (once per row), global: " << res.global_core_loads
+            << " (pre-loaded), random: " << res.random_core_loads
+            << " (refreshed per row)\n\n";
+
+  // --- §4.1: LOAD grows 66 -> 195 cycles, II stays 201.
+  const auto window_lat =
+      swat::stage_latencies(swat::SwatConfig::longformer_512());
+  const auto bigbird_lat = swat::stage_latencies(cfg);
+  Table t({"design", "LOAD (cycles)", "pipeline II (cycles)"});
+  t.add_row({"pure window", std::to_string(window_lat.load.count),
+             std::to_string(
+                 swat::row_interval(swat::SwatConfig::longformer_512())
+                     .count)});
+  t.add_row({"BigBird", std::to_string(bigbird_lat.load.count),
+             std::to_string(swat::row_interval(cfg).count)});
+  t.print(std::cout);
+  std::cout << "\nThe dynamic K/V gathering of random-attention cores "
+               "triples the LOAD stage,\nbut the QK stage (201 cycles) still "
+               "bounds the pipeline: zero throughput cost.\n\n";
+
+  // --- Dual-pipeline build (Table 2 row 3): two heads in flight.
+  const swat::SwatConfig dual = swat::SwatConfig::bigbird_dual_512();
+  const swat::AnalyticModel single_model(cfg);
+  const swat::AnalyticModel dual_model(dual);
+  const auto u1 = swat::table2_utilization(cfg);
+  const auto u2 = swat::table2_utilization(dual);
+  Table d({"design", "12x8 heads @ 4096", "DSP", "LUT", "BRAM"});
+  d.add_row({"1 pipeline",
+             Table::ms(single_model.model_time(4096, 12, 8).value),
+             std::to_string(u1.dsp_pct) + "%",
+             std::to_string(u1.lut_pct) + "%",
+             std::to_string(u1.bram_pct) + "%"});
+  d.add_row({"2 pipelines", Table::ms(dual_model.model_time(4096, 12, 8).value),
+             std::to_string(u2.dsp_pct) + "%",
+             std::to_string(u2.lut_pct) + "%",
+             std::to_string(u2.bram_pct) + "%"});
+  d.print(std::cout);
+  std::cout << "\nDoubling pipelines halves model latency at 2x the fabric —\n"
+               "the scaling knob Table 2's third row demonstrates.\n";
+  return 0;
+}

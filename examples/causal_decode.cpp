@@ -1,0 +1,65 @@
+// Autoregressive decoding with a causal sliding window on SWAT — the
+// FIFO-as-rolling-KV-cache scenario (Mistral-style local attention).
+//
+// Shows (a) that token-by-token decode produces exactly the batch causal
+// result, (b) per-token latency (decode pays the pipeline fill, not the
+// II), and (c) the traffic asymmetry against a GPU-style off-chip KV
+// cache, which re-reads the whole window every generated token.
+#include <iostream>
+
+#include "attention/window.hpp"
+#include "eval/table.hpp"
+#include "swat/decode_sim.hpp"
+#include "tensor/kernels.hpp"
+
+int main() {
+  using swat::eval::Table;
+  const swat::SwatConfig cfg = swat::SwatConfig::causal_512();
+  std::cout << "Causal decode on SWAT: " << cfg.summary() << "\n"
+            << "window: each token attends the previous "
+            << cfg.window_cores << " tokens (inclusive)\n\n";
+
+  const std::int64_t tokens = 2048;
+  swat::Rng rng(21);
+  const auto head = swat::attn::random_head_input(tokens, cfg.head_dim, rng);
+
+  const swat::DecodeSimulator sim(cfg);
+  const swat::DecodeResult res = sim.run(head);
+
+  // Functional check against the exact causal-band oracle.
+  const swat::MatrixF oracle =
+      swat::attn::band_attention(head, cfg.window_cores - 1, 0);
+  std::cout << "Functional check vs fp32 causal oracle: max |err| = "
+            << swat::max_abs_diff(res.z, oracle) << "\n\n";
+
+  Table t({"metric", "value"});
+  t.add_row({"per-token latency", std::to_string(res.per_token.count) +
+                                      " cycles = " +
+                                      Table::num(res.per_token.count /
+                                                     (cfg.clock.hz / 1e6),
+                                                 2) +
+                                      " us"});
+  t.add_row({"throughput (1 head)",
+             Table::num(res.tokens_per_second / 1e3, 1) + "k tokens/s"});
+  t.add_row({"HBM traffic per token",
+             std::to_string(res.kv_bytes_per_token.count) + " B (new K+V row only)"});
+  t.add_row({"on-chip rolling cache",
+             Table::num(static_cast<double>(res.cache_bytes.count) / 1024.0,
+                        0) +
+                 " KiB (512 BRAM-resident K/V rows)"});
+  t.print(std::cout);
+
+  // GPU-style off-chip KV cache comparison: every step streams the whole
+  // window from memory.
+  const double gpu_bytes_per_token =
+      2.0 * static_cast<double>(cfg.window_cores) *
+      static_cast<double>(cfg.head_dim) * 2.0;
+  std::cout << "\nAn off-chip KV cache would stream "
+            << Table::num(gpu_bytes_per_token / 1024.0, 0)
+            << " KiB per token for the same window — "
+            << Table::times(gpu_bytes_per_token /
+                            static_cast<double>(res.kv_bytes_per_token.count),
+                            0)
+            << " more HBM traffic than SWAT's input-stationary buffers.\n";
+  return 0;
+}

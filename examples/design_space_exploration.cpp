@@ -1,0 +1,103 @@
+// Design-space exploration with the SWAT models: sweep window width, head
+// dimension, precision and pipeline count, and report latency, resources
+// and energy — the workflow an adopter would run before synthesizing a
+// variant for their own model.
+#include <iostream>
+
+#include "eval/table.hpp"
+#include "hw/resource.hpp"
+#include "swat/analytic.hpp"
+#include "swat/power_model.hpp"
+#include "swat/resource_model.hpp"
+#include "swat/stage_latency.hpp"
+
+namespace {
+
+void sweep_window_width() {
+  using swat::eval::Table;
+  std::cout << "=== Sweep 1: window width (FP16, H = 64, N = 8192) ===\n\n";
+  Table t({"2w (cores)", "II (cyc)", "head time", "DSP%", "LUT%", "BRAM%",
+           "power (W)", "energy/head (mJ)"});
+  for (std::int64_t cores : {128, 256, 512, 1024}) {
+    swat::SwatConfig cfg = swat::SwatConfig::longformer_512();
+    cfg.window_cores = cores;
+    const swat::AnalyticModel model(cfg);
+    const auto u = swat::table2_utilization(cfg);
+    t.add_row({std::to_string(cores),
+               std::to_string(swat::row_interval(cfg).count),
+               Table::ms(model.head_time(8192).value),
+               std::to_string(u.dsp_pct), std::to_string(u.lut_pct),
+               std::to_string(u.bram_pct),
+               Table::num(swat::swat_power(cfg).value, 1),
+               Table::num(swat::swat_head_energy(cfg, 8192).millijoules(),
+                          1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nNote: wider windows cost fabric (cores) but not latency —\n"
+               "the pipeline II is set by the QK stage (3H+9), not by 2w.\n"
+               "Latency is the same; *accuracy* is what 2w buys.\n\n";
+}
+
+void sweep_head_dim() {
+  using swat::eval::Table;
+  std::cout << "=== Sweep 2: head dimension (FP16, 512 cores, N = 8192) "
+               "===\n\n";
+  Table t({"H", "II (cyc)", "head time", "time x heads for d_model=768"});
+  for (std::int64_t h : {32, 64, 128}) {
+    swat::SwatConfig cfg = swat::SwatConfig::longformer_512();
+    cfg.head_dim = h;
+    const swat::AnalyticModel model(cfg);
+    const int heads = static_cast<int>(768 / h);
+    t.add_row({std::to_string(h),
+               std::to_string(swat::row_interval(cfg).count),
+               Table::ms(model.head_time(8192).value),
+               Table::ms(model.model_time(8192, heads, 1).value)});
+  }
+  t.print(std::cout);
+  std::cout << "\nNote: II scales with 3H+9, but fewer/wider heads trade off\n"
+               "almost evenly at fixed d_model — H = 64 (the paper's choice)\n"
+               "balances the reduction tree against MAC depth.\n\n";
+}
+
+void sweep_precision_and_pipelines() {
+  using swat::eval::Table;
+  std::cout << "=== Sweep 3: precision x pipelines (512 cores, N = 16384, "
+               "12x8 heads) ===\n\n";
+  struct Variant {
+    const char* name;
+    swat::SwatConfig cfg;
+  };
+  swat::SwatConfig fp16_dual = swat::SwatConfig::longformer_512();
+  fp16_dual.pipelines = 2;
+  const Variant variants[] = {
+      {"FP16 x1", swat::SwatConfig::longformer_512()},
+      {"FP16 x2", fp16_dual},
+      {"FP32 x1", swat::SwatConfig::longformer_512(swat::Dtype::kFp32)},
+  };
+  Table t({"variant", "model time", "power (W)", "model energy (J)", "DSP%",
+           "fits U55C"});
+  for (const auto& v : variants) {
+    const swat::AnalyticModel model(v.cfg);
+    const auto used = swat::estimate_resources(v.cfg).total();
+    const bool fits = used.fits_in(swat::hw::DeviceCatalog::u55c().total);
+    t.add_row({v.name, Table::ms(model.model_time(16384, 12, 8).value),
+               Table::num(swat::swat_power(v.cfg).value, 1),
+               Table::num(
+                   swat::swat_model_energy(v.cfg, 16384, 12, 8).value, 2),
+               std::to_string(swat::table2_utilization(v.cfg).dsp_pct),
+               fits ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nNote: the FP16 dual-pipeline build halves latency within\n"
+               "the U55C budget; FP32 costs ~2.6x the DSPs and ~31% more\n"
+               "cycles — the efficiency argument for fp16 inference.\n";
+}
+
+}  // namespace
+
+int main() {
+  sweep_window_width();
+  sweep_head_dim();
+  sweep_precision_and_pipelines();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Long-document inference walkthrough — the workload the paper's intro
+// motivates (document-level processing with long context).
+//
+// Simulates a full Longformer-base attention stack (12 heads x 8 layers)
+// over a 4096-token document on SWAT, validating one head functionally and
+// costing the whole model with the analytic stack, side by side with the
+// GPU baselines.
+#include <iostream>
+
+#include "attention/window.hpp"
+#include "baselines/gpu_model.hpp"
+#include "eval/calibration.hpp"
+#include "eval/table.hpp"
+#include "swat/analytic.hpp"
+#include "swat/functional_sim.hpp"
+#include "swat/power_model.hpp"
+#include "tensor/kernels.hpp"
+
+int main() {
+  using swat::eval::Table;
+  const std::int64_t seq_len = 4096;  // the standard Longformer context
+  const int heads = swat::calib::kModelHeads;
+  const int layers = swat::calib::kModelLayers;
+  const swat::SwatConfig cfg = swat::SwatConfig::longformer_512();
+
+  std::cout << "Longformer document inference on SWAT\n"
+            << "  document length : " << seq_len << " tokens\n"
+            << "  model           : " << layers << " layers x " << heads
+            << " heads (H = 64)\n"
+            << "  accelerator     : " << cfg.summary() << "\n\n";
+
+  // --- Functional spot-check: run layer 0 / head 0 through the simulator.
+  swat::Rng rng(7);
+  const auto head0 = swat::attn::random_head_input(seq_len, cfg.head_dim, rng);
+  const auto res = swat::FunctionalSimulator(cfg).run(head0);
+  const auto oracle = swat::attn::band_attention(head0, cfg.window_before(),
+                                                 cfg.window_after());
+  std::cout << "Head 0 functional check: max |err| vs fp32 oracle = "
+            << swat::max_abs_diff(res.z, oracle) << "\n\n";
+
+  // --- Whole-model cost: SWAT vs the GPU kernels.
+  const swat::AnalyticModel model(cfg);
+  const swat::baselines::GpuModel gpu;
+  const double heads_total = static_cast<double>(heads) * layers;
+
+  const swat::Seconds t_swat = model.model_time(seq_len, heads, layers);
+  const swat::Joules e_swat =
+      swat::swat_model_energy(cfg, seq_len, heads, layers);
+  const auto dense = gpu.estimate(swat::baselines::GpuKernel::kDense, seq_len);
+  const auto chunks =
+      gpu.estimate(swat::baselines::GpuKernel::kSlidingChunks, seq_len);
+
+  Table t({"platform", "attention time (full model)", "energy"});
+  t.add_row({"SWAT FP16 (this work)", Table::ms(t_swat.value),
+             Table::num(e_swat.value, 3) + " J"});
+  t.add_row({"MI210 dense", Table::ms(dense.latency.value * heads_total),
+             Table::num(dense.energy.value * heads_total, 3) + " J"});
+  t.add_row({"MI210 sliding-chunks",
+             Table::ms(chunks.latency.value * heads_total),
+             Table::num(chunks.energy.value * heads_total, 3) + " J"});
+  t.print(std::cout);
+
+  std::cout << "\nPer-head traffic through HBM: "
+            << static_cast<double>(model.head_traffic(seq_len).count) / 1024.0
+            << " KiB (Q, K, V, Z each exactly once)\n"
+            << "Achieved bandwidth: " << model.achieved_gbps(seq_len)
+            << " GB/s of 460 GB/s available -> the design is compute-bound,\n"
+            << "which is why performance scales with attention cores.\n";
+  return 0;
+}

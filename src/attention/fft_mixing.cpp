@@ -1,0 +1,118 @@
+#include "attention/fft_mixing.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace swat::attn {
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SWAT_EXPECTS(is_pow2(static_cast<std::int64_t>(n)));
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly passes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= inv_n;
+  }
+}
+
+namespace {
+
+/// FFT along each column (token axis): treats column c of x as a length-rows
+/// signal. Returns the full complex spectrum.
+std::vector<std::vector<std::complex<double>>> fft_columns(const MatrixF& x) {
+  const std::int64_t rows = x.rows();
+  const std::int64_t cols = x.cols();
+  std::vector<std::vector<std::complex<double>>> out(
+      static_cast<std::size_t>(cols));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    auto& sig = out[static_cast<std::size_t>(c)];
+    sig.resize(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      sig[static_cast<std::size_t>(r)] = {static_cast<double>(x(r, c)), 0.0};
+    }
+    fft_radix2(sig, /*inverse=*/false);
+  }
+  return out;
+}
+
+}  // namespace
+
+MatrixF fnet_mixing(const MatrixF& x) {
+  SWAT_EXPECTS(is_pow2(x.rows()) && is_pow2(x.cols()));
+  // First transform along the feature axis.
+  const std::int64_t rows = x.rows();
+  const std::int64_t cols = x.cols();
+  Matrix<std::complex<double>> stage(rows, cols);
+  std::vector<std::complex<double>> buf(static_cast<std::size_t>(cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      buf[static_cast<std::size_t>(c)] = {static_cast<double>(x(r, c)), 0.0};
+    }
+    fft_radix2(buf, /*inverse=*/false);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      stage(r, c) = buf[static_cast<std::size_t>(c)];
+    }
+  }
+  // Then along the token axis; take the real part.
+  MatrixF y(rows, cols);
+  std::vector<std::complex<double>> col(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      col[static_cast<std::size_t>(r)] = stage(r, c);
+    }
+    fft_radix2(col, /*inverse=*/false);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      y(r, c) = static_cast<float>(col[static_cast<std::size_t>(r)].real());
+    }
+  }
+  return y;
+}
+
+MatrixF fft_token_mixing(const MatrixF& x) {
+  SWAT_EXPECTS(is_pow2(x.rows()));
+  const auto spectra = fft_columns(x);
+  MatrixF y(x.rows(), x.cols());
+  for (std::int64_t c = 0; c < x.cols(); ++c) {
+    const auto& sig = spectra[static_cast<std::size_t>(c)];
+    for (std::int64_t r = 0; r < x.rows(); ++r) {
+      y(r, c) = static_cast<float>(sig[static_cast<std::size_t>(r)].real());
+    }
+  }
+  return y;
+}
+
+std::int64_t fft_butterfly_count(std::int64_t n) {
+  SWAT_EXPECTS(is_pow2(n));
+  std::int64_t log2n = 0;
+  for (std::int64_t v = n; v > 1; v >>= 1) ++log2n;
+  return (n / 2) * log2n;
+}
+
+}  // namespace swat::attn

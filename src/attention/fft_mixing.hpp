@@ -1,0 +1,42 @@
+// FFT-based token mixing — the attention substitute used by the Butterfly
+// accelerator's FFT-BTF engine (paper §2.3, §5.1; FNet / butterfly-factor
+// literature).
+//
+// The Butterfly accelerator approximates the softmax attention layer by a
+// Fourier transform over the token axis (the butterfly sparsity pattern is
+// exactly an FFT dataflow). We implement:
+//   * a radix-2 iterative complex FFT (the substrate — no external FFT
+//     library is used anywhere in this repository);
+//   * `fnet_mixing`: Re(FFT_token(FFT_feature(X))), FNet's mixing layer,
+//     which is what "full-FFT" Butterfly computes per layer;
+//   * operation counts for the performance model (N log N per channel).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace swat::attn {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` selects the inverse transform (scaled by 1/N).
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse);
+
+/// True iff v is a positive power of two.
+bool is_pow2(std::int64_t v);
+
+/// FNet mixing: Y = Re( FFT_rows( FFT_cols(X) ) ), where FFT_rows acts along
+/// the token (sequence) axis and FFT_cols along the feature axis. Axis sizes
+/// must be powers of two.
+MatrixF fnet_mixing(const MatrixF& x);
+
+/// Like fnet_mixing but only along the token axis (cheaper variant used by
+/// ablations; still a data-independent mixing).
+MatrixF fft_token_mixing(const MatrixF& x);
+
+/// Complex multiply-add count of one length-n radix-2 FFT: (n/2) log2 n
+/// butterflies, each one complex mul + two complex adds.
+std::int64_t fft_butterfly_count(std::int64_t n);
+
+}  // namespace swat::attn

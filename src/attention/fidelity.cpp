@@ -1,0 +1,138 @@
+#include "attention/fidelity.hpp"
+
+#include <cmath>
+
+#include "attention/fft_mixing.hpp"
+#include "attention/reference.hpp"
+#include "attention/window.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::attn {
+
+std::string mixer_name(MixerKind k) {
+  switch (k) {
+    case MixerKind::kDense:
+      return "dense-softmax";
+    case MixerKind::kWindow:
+      return "window";
+    case MixerKind::kBigBird:
+      return "bigbird";
+    case MixerKind::kFnet:
+      return "full-fft";
+  }
+  return "?";
+}
+
+LayerSchedule schedule_uniform(MixerKind k, int layers) {
+  SWAT_EXPECTS(layers >= 1);
+  return LayerSchedule(static_cast<std::size_t>(layers), k);
+}
+
+LayerSchedule schedule_btf(int layers, int softmax_layers) {
+  SWAT_EXPECTS(layers >= 1);
+  SWAT_EXPECTS(softmax_layers >= 0 && softmax_layers <= layers);
+  LayerSchedule s(static_cast<std::size_t>(layers), MixerKind::kFnet);
+  for (int i = layers - softmax_layers; i < layers; ++i) {
+    s[static_cast<std::size_t>(i)] = MixerKind::kDense;
+  }
+  return s;
+}
+
+namespace {
+
+/// Row layer-norm without affine parameters.
+void layer_norm_rows(MatrixF& m) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    double mean = 0.0;
+    for (float v : r) mean += v;
+    mean /= static_cast<double>(r.size());
+    double var = 0.0;
+    for (float v : r) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(r.size());
+    const double inv = 1.0 / std::sqrt(var + 1e-6);
+    for (float& v : r) v = static_cast<float>((v - mean) * inv);
+  }
+}
+
+/// Self-attention with Q = K = V = X and the usual 1/sqrt(d) folded into Q.
+HeadInput self_attention_input(const MatrixF& x) {
+  HeadInput in;
+  in.q = x;
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(x.cols()));
+  for (float& v : in.q.flat()) v *= scale;
+  in.k = x;
+  in.v = x;
+  return in;
+}
+
+MatrixF mix(const MatrixF& x, MixerKind kind, const FidelityConfig& cfg) {
+  switch (kind) {
+    case MixerKind::kDense:
+      return dense_attention(self_attention_input(x));
+    case MixerKind::kWindow:
+      return window_attention(self_attention_input(x), cfg.window_radius);
+    case MixerKind::kBigBird: {
+      const AttentionPattern pattern(PatternSpec::bigbird(
+          x.rows(), cfg.window_radius, cfg.bigbird_random,
+          cfg.bigbird_global));
+      return masked_attention(self_attention_input(x), pattern);
+    }
+    case MixerKind::kFnet:
+      return fnet_mixing(x);
+  }
+  SWAT_ENSURES(false);
+  return {};
+}
+
+}  // namespace
+
+MatrixF apply_mixing_layer(const MatrixF& x, MixerKind kind,
+                           const FidelityConfig& cfg) {
+  MatrixF y = mix(x, kind, cfg);
+  SWAT_ENSURES(y.rows() == x.rows() && y.cols() == x.cols());
+  auto fy = y.flat();
+  auto fx = x.flat();
+  for (std::size_t i = 0; i < fy.size(); ++i) fy[i] += fx[i];  // residual
+  layer_norm_rows(y);
+  return y;
+}
+
+FidelityResult mixing_fidelity(const LayerSchedule& schedule,
+                               const FidelityConfig& cfg) {
+  SWAT_EXPECTS(!schedule.empty());
+  Rng rng(cfg.seed);
+  const MatrixF x0 =
+      cfg.structure == InputStructure::kText1d
+          ? random_locally_correlated_1d(cfg.seq_len, cfg.dim, rng,
+                                         cfg.corr_len)
+          : random_locally_correlated_2d(cfg.seq_len, cfg.dim, rng,
+                                         cfg.corr_len);
+
+  // Teacher-forced evaluation: walk the reference (all-dense) trajectory;
+  // at each layer, apply the method's mixer to the *reference* state and
+  // score it against the dense layer's output.
+  MatrixF ref = x0;
+  FidelityResult r;
+  for (MixerKind k : schedule) {
+    const MatrixF ref_out = apply_mixing_layer(ref, MixerKind::kDense, cfg);
+    if (k == MixerKind::kDense) {
+      r.mean_cosine += 1.0;
+    } else {
+      const MatrixF method_out = apply_mixing_layer(ref, k, cfg);
+      r.mean_cosine += mean_row_cosine(method_out, ref_out);
+      r.rel_error += relative_error(method_out, ref_out);
+    }
+    ref = ref_out;
+  }
+  const double layers = static_cast<double>(schedule.size());
+  r.mean_cosine /= layers;
+  r.rel_error /= layers;
+  return r;
+}
+
+}  // namespace swat::attn

@@ -1,0 +1,55 @@
+#include "attention/flops.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace swat::attn {
+
+LayerCost analyze_layer(const LayerShape& shape, AttentionVariant variant,
+                        std::int64_t window_tokens) {
+  SWAT_EXPECTS(shape.seq_len > 0 && shape.d_model > 0 && shape.num_heads > 0);
+  SWAT_EXPECTS(shape.d_model % shape.num_heads == 0);
+  SWAT_EXPECTS(window_tokens > 0);
+
+  const double n = static_cast<double>(shape.seq_len);
+  const double d = static_cast<double>(shape.d_model);
+  const double b = static_cast<double>(shape.bytes_per_elem);
+  const double ffn = static_cast<double>(shape.ffn_mult) * d;
+
+  LayerCost c;
+
+  // ---- Linear projections: Q, K, V and output, each n x d times d x d.
+  c.linear_flops = 4.0 * (2.0 * n * d * d);
+  // Weights streamed once + input read + output written, per projection.
+  c.linear_mops = 4.0 * (d * d + 2.0 * n * d) * b;
+
+  // ---- Attention core (per head, summed over heads; head_dim = d/heads
+  // so the sum over heads collapses to the formulas below).
+  // Attended positions per query row:
+  const double attended =
+      variant == AttentionVariant::kDense
+          ? n
+          : std::min(n, static_cast<double>(window_tokens));
+  // QK^T: n rows x attended cols x head_dim MACs (2 flops each), all heads.
+  const double qk = 2.0 * n * attended * d;
+  // softmax: exp + add + div ~ 5 flops per score, all heads.
+  const double sm = 5.0 * n * attended * static_cast<double>(shape.num_heads);
+  // S'V: same MAC volume as QK^T.
+  const double sv = 2.0 * n * attended * d;
+  c.attention_flops = qk + sm + sv;
+  // Unfused three-step memory traffic: write S, read S (softmax), write S',
+  // read S' (SV) — the intermediate score matrix dominates at long n.
+  const double score_elems =
+      n * attended * static_cast<double>(shape.num_heads);
+  c.attention_mops =
+      (4.0 * score_elems + /*Q,K,V read + Z write*/ 4.0 * n * d) * b;
+
+  // ---- FFN: two linear layers with expansion ffn_mult.
+  c.ffn_flops = 2.0 * (2.0 * n * d * ffn);
+  c.ffn_mops = (2.0 * d * ffn + 2.0 * n * (d + ffn)) * b;
+
+  return c;
+}
+
+}  // namespace swat::attn

@@ -1,0 +1,61 @@
+// FLOPs / MOPs analyzer for transformer layers (paper Fig. 1).
+//
+// The paper motivates window attention by showing the attention share of
+// both floating-point operations and memory operations growing with input
+// length (Fig. 1, breakdown into Linear / Attention / FFN for N = 128 ..
+// 16384). This analyzer computes those counts from first principles for a
+// standard encoder layer and for the windowed variant.
+#pragma once
+
+#include <cstdint>
+
+namespace swat::attn {
+
+/// Transformer layer hyperparameters. Defaults follow the Longformer-base
+/// configuration the paper evaluates (d_model = 768, 12 heads of dim 64,
+/// FFN expansion 4x).
+struct LayerShape {
+  std::int64_t seq_len = 4096;
+  std::int64_t d_model = 768;
+  std::int64_t num_heads = 12;
+  std::int64_t ffn_mult = 4;
+  std::int64_t bytes_per_elem = 2;  ///< fp16 activations/weights
+
+  std::int64_t head_dim() const { return d_model / num_heads; }
+};
+
+/// Attention-computation variant for the attention component.
+enum class AttentionVariant {
+  kDense,    ///< full O(N^2) softmax attention
+  kWindow,   ///< sliding-window attention with the given band
+};
+
+/// FLOPs (multiply and add each count as one op) and MOPs (bytes moved
+/// to/from main memory, unfused three-step implementation) per component.
+struct LayerCost {
+  double linear_flops = 0.0;     ///< QKV + output projections
+  double attention_flops = 0.0;  ///< QK^T, softmax, S'V
+  double ffn_flops = 0.0;
+
+  double linear_mops = 0.0;
+  double attention_mops = 0.0;
+  double ffn_mops = 0.0;
+
+  double total_flops() const {
+    return linear_flops + attention_flops + ffn_flops;
+  }
+  double total_mops() const {
+    return linear_mops + attention_mops + ffn_mops;
+  }
+  double attention_flops_share() const {
+    return attention_flops / total_flops();
+  }
+  double attention_mops_share() const { return attention_mops / total_mops(); }
+};
+
+/// Analyze one encoder layer. `window_tokens` (the band width, 2w) is used
+/// only for the kWindow variant.
+LayerCost analyze_layer(const LayerShape& shape, AttentionVariant variant,
+                        std::int64_t window_tokens = 512);
+
+}  // namespace swat::attn

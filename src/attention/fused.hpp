@@ -1,0 +1,53 @@
+// Kernel-fused window attention — the algorithmic core of the paper (§3.1).
+//
+// The softmax denominator is factored out of the S'V product (paper Eq. 1):
+//
+//   Z_i = (1 / sum_l exp(S_il)) * sum_n exp(S_in) * V_n
+//
+// so QK, exp and SV fuse into a single row-wise pass and only the scalar
+// row sum is applied afterwards. Three host implementations are provided:
+//
+//  * fused_window_attention        — float32, exactly the paper's operation
+//                                    order (no max subtraction);
+//  * fused_window_attention_online — float32, FlashAttention-style running
+//                                    max (the numerically-safe extension;
+//                                    used by the ablation bench);
+//  * fused_window_attention_fp16   — bit-faithful binary16 emulation of the
+//                                    SWAT datapath (non-fused MAC rounding,
+//                                    fp16 exp, fp16 accumulation trees).
+//                                    This is the independent oracle that the
+//                                    attention-core functional simulator
+//                                    must match *bit-exactly*.
+#pragma once
+
+#include "attention/reference.hpp"
+#include "common/fp16.hpp"
+
+namespace swat::attn {
+
+MatrixF fused_window_attention(const HeadInput& in,
+                               std::int64_t window_radius);
+
+MatrixF fused_window_attention_online(const HeadInput& in,
+                                      std::int64_t window_radius);
+
+/// Emulation parameters for the fp16 datapath.
+struct Fp16KernelOptions {
+  /// Segments of the piecewise-linear exp LUT; 0 selects the full-precision
+  /// (correctly rounded) exp unit the default SWAT design uses.
+  int exp_lut_segments = 0;
+  /// Accumulate the QK dot product and reductions in fp16 (the BRAM-local
+  /// accumulator registers are 16-bit in the FP16 build). When false, a
+  /// float32 accumulator models a wider accumulator variant (ablation).
+  bool fp16_accumulate = true;
+};
+
+/// Bit-faithful fp16 fused window attention. Inputs are rounded to fp16 on
+/// load (modelling the HBM-resident fp16 tensors); every arithmetic step
+/// rounds to binary16 as the hardware would. Returns float32 holding
+/// exactly-representable fp16 values.
+MatrixF fused_window_attention_fp16(const HeadInput& in,
+                                    std::int64_t window_radius,
+                                    const Fp16KernelOptions& opt = {});
+
+}  // namespace swat::attn

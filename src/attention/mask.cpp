@@ -1,0 +1,141 @@
+#include "attention/mask.hpp"
+
+#include <algorithm>
+
+namespace swat::attn {
+
+PatternSpec PatternSpec::longformer(std::int64_t seq_len, std::int64_t w,
+                                    std::int64_t n_global) {
+  PatternSpec s;
+  s.seq_len = seq_len;
+  s.window_before = w;
+  s.window_after = w;
+  s.num_global_tokens = n_global;
+  s.num_random_tokens = 0;
+  return s;
+}
+
+PatternSpec PatternSpec::swat_band(std::int64_t seq_len, std::int64_t tokens) {
+  SWAT_EXPECTS(tokens >= 1);
+  PatternSpec s;
+  s.seq_len = seq_len;
+  s.window_before = tokens / 2;
+  s.window_after = tokens - tokens / 2 - 1;
+  return s;
+}
+
+PatternSpec PatternSpec::bigbird(std::int64_t seq_len, std::int64_t w,
+                                 std::int64_t n_random,
+                                 std::int64_t n_global) {
+  PatternSpec s;
+  s.seq_len = seq_len;
+  s.window_before = w;
+  s.window_after = w;
+  s.num_global_tokens = n_global;
+  s.num_random_tokens = n_random;
+  return s;
+}
+
+PatternSpec PatternSpec::bigbird_tokens(std::int64_t seq_len,
+                                        std::int64_t tokens,
+                                        std::int64_t n_random,
+                                        std::int64_t n_global) {
+  PatternSpec s = swat_band(seq_len, tokens);
+  s.num_global_tokens = n_global;
+  s.num_random_tokens = n_random;
+  return s;
+}
+
+AttentionPattern::AttentionPattern(const PatternSpec& spec) : spec_(spec) {
+  SWAT_EXPECTS(spec.seq_len > 0);
+  SWAT_EXPECTS(spec.window_before >= 0 && spec.window_after >= 0);
+  SWAT_EXPECTS(spec.num_global_tokens >= 0 &&
+               spec.num_global_tokens <= spec.seq_len);
+  SWAT_EXPECTS(spec.num_random_tokens >= 0 &&
+               spec.num_random_tokens <= spec.seq_len);
+
+  SWAT_EXPECTS(spec.window_dilation >= 1);
+
+  const std::int64_t n = spec.seq_len;
+  rows_.resize(static_cast<std::size_t>(n));
+
+  globals_.resize(static_cast<std::size_t>(spec.num_global_tokens));
+  for (std::int64_t g = 0; g < spec.num_global_tokens; ++g) {
+    globals_[static_cast<std::size_t>(g)] = g;
+  }
+
+  Rng rng(spec.random_seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& row = rows_[static_cast<std::size_t>(i)];
+
+    // Window band, clipped at the sequence boundary (always contains self
+    // at step j = 0, so each softmax row is non-empty).
+    const std::int64_t d = spec.window_dilation;
+    for (std::int64_t step = -spec.window_before; step <= spec.window_after;
+         ++step) {
+      const std::int64_t col = i + step * d;
+      if (col < 0 || col >= n) continue;
+      row.push_back({col, PatternComponent::kWindow});
+    }
+
+    // Global tokens: attended by everyone.
+    for (std::int64_t g : globals_) {
+      row.push_back({g, PatternComponent::kGlobal});
+    }
+
+    // Random tokens: a fresh static draw per row (BigBird).
+    if (spec.num_random_tokens > 0) {
+      for (std::int64_t r :
+           rng.sample_without_replacement(n, spec.num_random_tokens)) {
+        row.push_back({r, PatternComponent::kRandom});
+      }
+    }
+
+    // Global rows attend to everything (symmetric global attention).
+    if (spec.symmetric_global && i < spec.num_global_tokens) {
+      row.clear();
+      for (std::int64_t j = 0; j < n; ++j) {
+        row.push_back({j, PatternComponent::kGlobal});
+      }
+    }
+
+    // Sort by column and de-duplicate, keeping the first occurrence; the
+    // push order above (window, global, random) makes the window component
+    // win when a column is covered by several components.
+    std::stable_sort(row.begin(), row.end(),
+                     [](const AttendedToken& a, const AttendedToken& b) {
+                       return a.col < b.col;
+                     });
+    row.erase(std::unique(row.begin(), row.end(),
+                          [](const AttendedToken& a, const AttendedToken& b) {
+                            return a.col == b.col;
+                          }),
+              row.end());
+    nnz_ += static_cast<std::int64_t>(row.size());
+  }
+}
+
+bool AttentionPattern::attends(std::int64_t i, std::int64_t j) const {
+  SWAT_EXPECTS(j >= 0 && j < seq_len());
+  const auto& r = row(i);
+  auto it = std::lower_bound(r.begin(), r.end(), j,
+                             [](const AttendedToken& t, std::int64_t col) {
+                               return t.col < col;
+                             });
+  return it != r.end() && it->col == j;
+}
+
+double AttentionPattern::density() const {
+  const double n = static_cast<double>(seq_len());
+  return static_cast<double>(nnz_) / (n * n);
+}
+
+Matrix<std::uint8_t> AttentionPattern::dense_mask() const {
+  Matrix<std::uint8_t> m(seq_len(), seq_len(), 0);
+  for (std::int64_t i = 0; i < seq_len(); ++i) {
+    for (const AttendedToken& t : row(i)) m(i, t.col) = 1;
+  }
+  return m;
+}
+
+}  // namespace swat::attn

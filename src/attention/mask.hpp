@@ -1,0 +1,124 @@
+// Static sparse attention patterns.
+//
+// The paper's parameterized design (§4.1, Fig. 7) composes three static
+// pattern components, fixed at synthesis time:
+//   * window  — each token attends to a fixed band of neighbours
+//               (Longformer's sliding window, the diagonal band of Fig. 2a);
+//   * global  — designated tokens are attended by *all* tokens and attend to
+//               all tokens (Longformer / ViL global tokens);
+//   * random  — each token additionally attends to a static random token set
+//               (BigBird).
+//
+// The band is parameterized asymmetrically (window_before / window_after)
+// because the SWAT hardware allocates exactly 2w attention cores and hence
+// holds a band of exactly 2w tokens ([i-w, i+w-1] including self), while the
+// textbook sliding window of radius w spans 2w+1 tokens. Both are instances
+// of the same band pattern.
+//
+// An AttentionPattern holds the composed per-row attended-column sets plus
+// enough structure for the hardware models to assign attention cores per
+// component (window cores, global cores, random cores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace swat::attn {
+
+/// Which pattern component caused a (row, col) pair to be attended.
+enum class PatternComponent : std::uint8_t { kWindow, kGlobal, kRandom };
+
+/// Pattern construction parameters. Row i's window component attends
+/// columns i + j * window_dilation for j in [-window_before, window_after],
+/// clipped to the sequence. With dilation 1 (the default) this is the
+/// contiguous band [i - window_before, i + window_after]; dilation d > 1 is
+/// Longformer's dilated sliding window, widening the receptive field d-fold
+/// at the same attended-token budget.
+struct PatternSpec {
+  std::int64_t seq_len = 0;
+  std::int64_t window_before = 0;  ///< band extent below the diagonal (steps)
+  std::int64_t window_after = 0;   ///< band extent above the diagonal (steps)
+  std::int64_t window_dilation = 1;
+  std::int64_t num_global_tokens = 0;   ///< leading tokens marked global
+  std::int64_t num_random_tokens = 0;   ///< per-row static random tokens
+  std::uint64_t random_seed = 0x5747u;  ///< BigBird random pattern seed
+  /// Longformer's global attention is symmetric: global tokens are attended
+  /// by all rows *and* attend to all columns. The second half needs O(n)
+  /// attended columns for a global row, which SWAT's fixed 2w-core array
+  /// cannot host in one pass — the hardware realizes only the
+  /// attended-by-all direction, so hardware-facing specs set this false
+  /// (the accelerator's oracle then matches what the silicon computes).
+  bool symmetric_global = true;
+
+  std::int64_t band_tokens() const { return window_before + window_after + 1; }
+
+  /// Longformer: symmetric sliding window of radius w (band 2w+1),
+  /// optionally with global tokens.
+  static PatternSpec longformer(std::int64_t seq_len, std::int64_t w,
+                                std::int64_t n_global = 0);
+
+  /// The band SWAT's attention cores realize: exactly `tokens` positions,
+  /// [i - ceil((tokens-1)/2), i + floor((tokens-1)/2)] — e.g. tokens = 512
+  /// gives [i-256, i+255].
+  static PatternSpec swat_band(std::int64_t seq_len, std::int64_t tokens);
+
+  /// BigBird-style mix over a symmetric radius-w band; the paper's config is
+  /// 192 window + 192 random + 128 global = 512 attended tokens per row.
+  static PatternSpec bigbird(std::int64_t seq_len, std::int64_t w,
+                             std::int64_t n_random, std::int64_t n_global);
+
+  /// BigBird with an exact window-token budget (band = `tokens` positions).
+  static PatternSpec bigbird_tokens(std::int64_t seq_len, std::int64_t tokens,
+                                    std::int64_t n_random,
+                                    std::int64_t n_global);
+};
+
+/// One attended (column) entry for a given query row.
+struct AttendedToken {
+  std::int64_t col = 0;
+  PatternComponent component = PatternComponent::kWindow;
+
+  friend bool operator==(const AttendedToken&, const AttendedToken&) = default;
+};
+
+/// Fully materialized static pattern: for every query row, the sorted,
+/// de-duplicated list of attended columns.
+class AttentionPattern {
+ public:
+  explicit AttentionPattern(const PatternSpec& spec);
+
+  const PatternSpec& spec() const { return spec_; }
+  std::int64_t seq_len() const { return spec_.seq_len; }
+
+  /// Attended columns of query row i, sorted by column index.
+  const std::vector<AttendedToken>& row(std::int64_t i) const {
+    SWAT_EXPECTS(i >= 0 && i < seq_len());
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
+  /// True iff query row i attends to column j.
+  bool attends(std::int64_t i, std::int64_t j) const;
+
+  /// Total number of attended (i, j) pairs = nonzeros of the S mask.
+  std::int64_t nnz() const { return nnz_; }
+
+  /// nnz / (seq_len^2): the density of the attention mask.
+  double density() const;
+
+  /// Global token indices (ascending).
+  const std::vector<std::int64_t>& global_tokens() const { return globals_; }
+
+  /// Dense 0/1 mask (for oracle comparisons against masked dense attention).
+  Matrix<std::uint8_t> dense_mask() const;
+
+ private:
+  PatternSpec spec_;
+  std::vector<std::vector<AttendedToken>> rows_;
+  std::vector<std::int64_t> globals_;
+  std::int64_t nnz_ = 0;
+};
+
+}  // namespace swat::attn

@@ -1,0 +1,106 @@
+#include "attention/recall_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+#include "tensor/matrix.hpp"
+
+namespace swat::attn {
+
+namespace {
+
+struct TaskInstance {
+  MatrixF keys;                        // seq_len x key_dim
+  std::vector<std::int64_t> query_pos; // query token positions
+  std::vector<std::int64_t> target_pos;
+};
+
+TaskInstance build_instance(const RecallTaskConfig& cfg) {
+  SWAT_EXPECTS(cfg.seq_len > 1 && cfg.key_dim > 0);
+  SWAT_EXPECTS(cfg.num_queries >= 1 &&
+               cfg.num_queries < cfg.seq_len / 2);
+  SWAT_EXPECTS(cfg.min_distance >= 1 &&
+               cfg.min_distance <= cfg.max_distance);
+
+  Rng rng(cfg.seed);
+  TaskInstance inst;
+  // Every position holds a random unit-ish key embedding.
+  inst.keys = random_normal(cfg.seq_len, cfg.key_dim, rng,
+                            1.0 / std::sqrt(static_cast<double>(cfg.key_dim)));
+
+  // Queries occupy the tail of the sequence; each copies the key of a
+  // target placed min..max tokens earlier (clamped to >= 0, and never on
+  // another query token).
+  const std::int64_t first_query = cfg.seq_len - cfg.num_queries;
+  for (std::int64_t qi = 0; qi < cfg.num_queries; ++qi) {
+    const std::int64_t qpos = first_query + qi;
+    const std::int64_t hi = std::min<std::int64_t>(qpos - cfg.min_distance,
+                                                   first_query - 1);
+    SWAT_EXPECTS(hi >= 0);
+    // Targets live in the stored-item region; when the requested distance
+    // band falls inside the query block, clamp to the nearest stored item.
+    const std::int64_t lo =
+        std::min(hi, std::max<std::int64_t>(0, qpos - cfg.max_distance));
+    const std::int64_t target = rng.integer(lo, hi);
+    // Copy the target's key into the query row so the dot product peaks at
+    // the target.
+    for (std::int64_t d = 0; d < cfg.key_dim; ++d) {
+      inst.keys(qpos, d) = inst.keys(target, d);
+    }
+    inst.query_pos.push_back(qpos);
+    inst.target_pos.push_back(target);
+  }
+  return inst;
+}
+
+RecallResult score(const TaskInstance& inst, const RecallTaskConfig& cfg,
+                   const AttentionPattern* pattern) {
+  RecallResult res;
+  res.queries = static_cast<std::int64_t>(inst.query_pos.size());
+  for (std::size_t qi = 0; qi < inst.query_pos.size(); ++qi) {
+    const std::int64_t qpos = inst.query_pos[qi];
+    const std::int64_t target = inst.target_pos[qi];
+    auto qrow = inst.keys.row(qpos);
+
+    bool reachable = false;
+    float best = -std::numeric_limits<float>::infinity();
+    std::int64_t best_col = -1;
+    const auto consider = [&](std::int64_t col) {
+      if (col == qpos) return;  // the query token itself is not an answer
+      if (col == target) reachable = true;
+      const float s = dot(qrow, inst.keys.row(col));
+      if (s > best) {
+        best = s;
+        best_col = col;
+      }
+    };
+    if (pattern != nullptr) {
+      for (const AttendedToken& t : pattern->row(qpos)) consider(t.col);
+    } else {
+      for (std::int64_t col = 0; col < cfg.seq_len; ++col) consider(col);
+    }
+    if (reachable) res.reachable_fraction += 1.0;
+    if (best_col == target) res.accuracy += 1.0;
+  }
+  res.accuracy /= static_cast<double>(res.queries);
+  res.reachable_fraction /= static_cast<double>(res.queries);
+  return res;
+}
+
+}  // namespace
+
+RecallResult recall_accuracy(const AttentionPattern& pattern,
+                             const RecallTaskConfig& cfg) {
+  SWAT_EXPECTS(pattern.seq_len() == cfg.seq_len);
+  const TaskInstance inst = build_instance(cfg);
+  return score(inst, cfg, &pattern);
+}
+
+RecallResult recall_accuracy_dense(const RecallTaskConfig& cfg) {
+  const TaskInstance inst = build_instance(cfg);
+  return score(inst, cfg, nullptr);
+}
+
+}  // namespace swat::attn

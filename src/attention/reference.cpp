@@ -1,0 +1,59 @@
+#include "attention/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+
+namespace swat::attn {
+
+HeadInput random_head_input(std::int64_t seq_len, std::int64_t head_dim,
+                            Rng& rng) {
+  SWAT_EXPECTS(seq_len > 0 && head_dim > 0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+  HeadInput in;
+  in.q = random_normal(seq_len, head_dim, rng, scale);
+  in.k = random_normal(seq_len, head_dim, rng, 1.0);
+  in.v = random_normal(seq_len, head_dim, rng, 1.0);
+  return in;
+}
+
+MatrixF dense_attention(const HeadInput& in) {
+  MatrixF s = matmul_nt(in.q, in.k);
+  row_softmax_stable(s);
+  return matmul(s, in.v);
+}
+
+MatrixF masked_attention(const HeadInput& in,
+                         const AttentionPattern& pattern) {
+  SWAT_EXPECTS(pattern.seq_len() == in.seq_len());
+  const std::int64_t n = in.seq_len();
+  const std::int64_t h = in.head_dim();
+  MatrixF z(n, h, 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& attended = pattern.row(i);
+    SWAT_EXPECTS(!attended.empty());
+    // Scores restricted to the attended set.
+    std::vector<float> s(attended.size());
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t t = 0; t < attended.size(); ++t) {
+      s[t] = dot(in.q.row(i), in.k.row(attended[t].col));
+      mx = std::max(mx, s[t]);
+    }
+    float sum = 0.0f;
+    for (float& v : s) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    SWAT_ENSURES(sum > 0.0f);
+    auto zrow = z.row(i);
+    for (std::size_t t = 0; t < attended.size(); ++t) {
+      axpy(s[t] / sum, in.v.row(attended[t].col), zrow);
+    }
+  }
+  return z;
+}
+
+}  // namespace swat::attn

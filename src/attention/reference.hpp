@@ -1,0 +1,37 @@
+// Reference attention implementations (float32, numerically stable).
+// These are the correctness oracles for everything else in the repository.
+#pragma once
+
+#include "attention/mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace swat::attn {
+
+/// Inputs to one attention head: Q, K, V are seq_len x head_dim.
+struct HeadInput {
+  MatrixF q;
+  MatrixF k;
+  MatrixF v;
+
+  std::int64_t seq_len() const { return q.rows(); }
+  std::int64_t head_dim() const { return q.cols(); }
+};
+
+/// Generate a random head input with iid normal entries scaled by
+/// 1/sqrt(head_dim) so that Q.K dot products are O(1) — keeps fp16 exp in
+/// range exactly like trained-model logits with the usual 1/sqrt(d) scaling.
+HeadInput random_head_input(std::int64_t seq_len, std::int64_t head_dim,
+                            Rng& rng);
+
+/// Z = softmax(Q K^T) V with stable softmax over the full dense score
+/// matrix. NOTE: following the paper's formulation the 1/sqrt(d) scaling is
+/// assumed to be folded into Q by the caller.
+MatrixF dense_attention(const HeadInput& in);
+
+/// Dense attention with an arbitrary static mask: scores outside the mask
+/// are excluded from the softmax (i.e. set to -inf). With a window-band
+/// mask this is the *exact* semantics of sliding-window attention and the
+/// oracle for SWAT's output.
+MatrixF masked_attention(const HeadInput& in, const AttentionPattern& pattern);
+
+}  // namespace swat::attn

@@ -1,0 +1,168 @@
+#include "attention/sliding_chunks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+
+namespace swat::attn {
+
+namespace {
+
+/// Score storage for one chunk: a dense (2w x 2w) tile between query rows
+/// [base, base + 2w) and key rows [base, base + 2w).
+struct ChunkScores {
+  std::int64_t base = 0;
+  MatrixF s;  // 2w x 2w
+};
+
+}  // namespace
+
+namespace {
+
+/// Core aligned implementation; `valid_rows` marks the real (unpadded)
+/// prefix — only those rows produce output and only their columns enter
+/// any softmax band.
+SlidingChunksResult sliding_chunks_aligned(const HeadInput& in,
+                                           std::int64_t window_radius,
+                                           std::int64_t valid_rows);
+
+}  // namespace
+
+SlidingChunksResult sliding_chunks_attention(const HeadInput& in,
+                                             std::int64_t window_radius) {
+  return sliding_chunks_aligned(in, window_radius, in.seq_len());
+}
+
+SlidingChunksResult sliding_chunks_attention_padded(
+    const HeadInput& in, std::int64_t window_radius) {
+  const std::int64_t w = window_radius;
+  SWAT_EXPECTS(w > 0);
+  const std::int64_t n = in.seq_len();
+  SWAT_EXPECTS(n > 0);
+  const std::int64_t aligned = std::max<std::int64_t>(
+      2 * w, (n + w - 1) / w * w);
+  if (aligned == n) return sliding_chunks_aligned(in, w, n);
+
+  HeadInput padded;
+  padded.q = MatrixF(aligned, in.head_dim(), 0.0f);
+  padded.k = MatrixF(aligned, in.head_dim(), 0.0f);
+  padded.v = MatrixF(aligned, in.head_dim(), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t d = 0; d < in.head_dim(); ++d) {
+      padded.q(i, d) = in.q(i, d);
+      padded.k(i, d) = in.k(i, d);
+      padded.v(i, d) = in.v(i, d);
+    }
+  }
+  SlidingChunksResult res = sliding_chunks_aligned(padded, w, n);
+  MatrixF z(n, in.head_dim());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t d = 0; d < in.head_dim(); ++d) {
+      z(i, d) = res.z(i, d);
+    }
+  }
+  res.z = std::move(z);
+  return res;
+}
+
+namespace {
+
+SlidingChunksResult sliding_chunks_aligned(const HeadInput& in,
+                                           std::int64_t window_radius,
+                                           std::int64_t valid_rows) {
+  const std::int64_t n = in.seq_len();
+  const std::int64_t h = in.head_dim();
+  const std::int64_t w = window_radius;
+  SWAT_EXPECTS(w > 0);
+  SWAT_EXPECTS(n % w == 0);
+  SWAT_EXPECTS(n >= 2 * w);
+  SWAT_EXPECTS(valid_rows >= 1 && valid_rows <= n);
+
+  // Overlapping tiles of 2w rows with stride w (HuggingFace scheme):
+  // tile c covers query and key rows [c*w, c*w + 2w).
+  const std::int64_t num_tiles = n / w - 1;
+  SWAT_ENSURES(num_tiles >= 1);
+
+  SlidingChunksResult out;
+  out.num_tiles = num_tiles;
+  out.num_chunks = n / (2 * w);  // the paper's chunk count (width 2w)
+  out.z = MatrixF(n, h, 0.0f);
+
+  // Phase 1: dense QK tiles, every element computed (this is the whole
+  // point of the scheme — the tile is a plain GEMM).
+  std::vector<ChunkScores> chunks(static_cast<std::size_t>(num_tiles));
+  for (std::int64_t c = 0; c < num_tiles; ++c) {
+    auto& ch = chunks[static_cast<std::size_t>(c)];
+    ch.base = c * w;
+    ch.s = MatrixF(2 * w, 2 * w);
+    for (std::int64_t qi = 0; qi < 2 * w; ++qi) {
+      for (std::int64_t kj = 0; kj < 2 * w; ++kj) {
+        ch.s(qi, kj) = dot(in.q.row(ch.base + qi), in.k.row(ch.base + kj));
+      }
+    }
+  }
+  // Dense MACs: QK tiles plus the SV tiles of the same shape (the masked
+  // S' tile multiplies the V chunk densely; masked entries are zeros but
+  // the GEMM still executes them).
+  out.dense_mul_adds = 2 * num_tiles * (2 * w) * (2 * w) * h;
+
+  // Phase 2: per-row masked softmax over the exact band, gathering scores
+  // from the owning tiles, then the SV product. Mathematically identical to
+  // masking the tiles and summing the two overlapping tile contributions.
+  std::vector<float> band(static_cast<std::size_t>(2 * w + 1));
+  for (std::int64_t i = 0; i < valid_rows; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - w);
+    const std::int64_t hi = std::min<std::int64_t>(valid_rows - 1, i + w);
+    const std::size_t count = static_cast<std::size_t>(hi - lo + 1);
+    out.useful_mul_adds += 2 * static_cast<std::int64_t>(count) * h;
+
+    // The chunk that owns row i's full right half plus the left overlap:
+    // c0 = clamp(floor(i/w) - ...) — row i lies in chunk floor(i/w) (and
+    // floor(i/w)-1 when it exists); between them they cover [i-w, i+w].
+    const std::int64_t c_hi =
+        std::min<std::int64_t>(i / w, num_tiles - 1);
+    const std::int64_t c_lo = std::max<std::int64_t>(0, c_hi - 1);
+
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      // Prefer the higher chunk (covers columns >= c_hi*w); fall back to
+      // the lower one for columns before that.
+      const ChunkScores& ch =
+          (j >= chunks[static_cast<std::size_t>(c_hi)].base &&
+           j < chunks[static_cast<std::size_t>(c_hi)].base + 2 * w)
+              ? chunks[static_cast<std::size_t>(c_hi)]
+              : chunks[static_cast<std::size_t>(c_lo)];
+      SWAT_ENSURES(j >= ch.base && j < ch.base + 2 * w);
+      SWAT_ENSURES(i >= ch.base && i < ch.base + 2 * w);
+      const float v = ch.s(i - ch.base, j - ch.base);
+      band[static_cast<std::size_t>(j - lo)] = v;
+      mx = std::max(mx, v);
+    }
+    float sum = 0.0f;
+    for (std::size_t t = 0; t < count; ++t) {
+      band[t] = std::exp(band[t] - mx);
+      sum += band[t];
+    }
+    SWAT_ENSURES(sum > 0.0f);
+    auto zrow = out.z.row(i);
+    for (std::size_t t = 0; t < count; ++t) {
+      axpy(band[t] / sum, in.v.row(lo + static_cast<std::int64_t>(t)), zrow);
+    }
+  }
+
+  // All tiles are live simultaneously in the GPU kernel.
+  out.peak_score_elems = num_tiles * (2 * w) * (2 * w);
+  return out;
+}
+
+}  // namespace
+
+double sliding_chunks_redundancy_ratio(std::int64_t num_chunks) {
+  SWAT_EXPECTS(num_chunks > 0);
+  return 0.5 - 1.0 / (4.0 * static_cast<double>(num_chunks));
+}
+
+}  // namespace swat::attn

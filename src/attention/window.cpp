@@ -1,0 +1,63 @@
+#include "attention/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+
+namespace swat::attn {
+
+MatrixF window_attention(const HeadInput& in, std::int64_t window_radius) {
+  return band_attention(in, window_radius, window_radius);
+}
+
+MatrixF band_attention(const HeadInput& in, std::int64_t before,
+                       std::int64_t after) {
+  SWAT_EXPECTS(before >= 0 && after >= 0);
+  const std::int64_t n = in.seq_len();
+  const std::int64_t h = in.head_dim();
+  MatrixF z(n, h, 0.0f);
+  std::vector<float> s(static_cast<std::size_t>(before + after + 1));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - before);
+    const std::int64_t hi = std::min<std::int64_t>(n - 1, i + after);
+    const std::size_t count = static_cast<std::size_t>(hi - lo + 1);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t t = 0; t < count; ++t) {
+      s[t] = dot(in.q.row(i), in.k.row(lo + static_cast<std::int64_t>(t)));
+      mx = std::max(mx, s[t]);
+    }
+    float sum = 0.0f;
+    for (std::size_t t = 0; t < count; ++t) {
+      s[t] = std::exp(s[t] - mx);
+      sum += s[t];
+    }
+    SWAT_ENSURES(sum > 0.0f);
+    auto zrow = z.row(i);
+    for (std::size_t t = 0; t < count; ++t) {
+      axpy(s[t] / sum, in.v.row(lo + static_cast<std::int64_t>(t)), zrow);
+    }
+  }
+  return z;
+}
+
+WindowOpCount window_attention_ops(std::int64_t seq_len,
+                                   std::int64_t window_radius,
+                                   std::int64_t head_dim) {
+  SWAT_EXPECTS(seq_len > 0 && window_radius >= 0 && head_dim > 0);
+  WindowOpCount ops;
+  for (std::int64_t i = 0; i < seq_len; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - window_radius);
+    const std::int64_t hi =
+        std::min<std::int64_t>(seq_len - 1, i + window_radius);
+    const std::int64_t band = hi - lo + 1;
+    ops.mul_adds += band * head_dim * 2;  // QK dot + SV scale-accumulate
+    ops.exps += band;
+    ops.divisions += head_dim;  // final Z scaling per output element
+  }
+  return ops;
+}
+
+}  // namespace swat::attn

@@ -1,0 +1,36 @@
+// Exact sliding-window attention on the host (no chunking, no redundancy).
+//
+// This is the algorithmic ideal SWAT implements in hardware: for each query
+// row i, scores are computed only against columns [i-w, i+w], softmax runs
+// over exactly those entries, and the weighted sum of V rows is produced.
+// Complexity O(n * (2w+1) * h) — the linear-in-n curve of paper Figs. 1/3.
+#pragma once
+
+#include "attention/reference.hpp"
+
+namespace swat::attn {
+
+/// Exact windowed attention (stable softmax); oracle for SWAT's output and
+/// for the sliding-chunks implementation.
+MatrixF window_attention(const HeadInput& in, std::int64_t window_radius);
+
+/// Exact banded attention with an asymmetric band: row i attends columns
+/// [i - before, i + after] clipped to the sequence. window_attention(in, w)
+/// equals band_attention(in, w, w); SWAT's 2w-core hardware realizes
+/// band_attention(in, w, w-1).
+MatrixF band_attention(const HeadInput& in, std::int64_t before,
+                       std::int64_t after);
+
+/// Operation counts for one head of exact windowed attention; used by the
+/// FLOPs analyzer and to compute the redundancy of sliding-chunks.
+struct WindowOpCount {
+  std::int64_t mul_adds = 0;   ///< QK + SV multiply-accumulates
+  std::int64_t exps = 0;       ///< exponentials
+  std::int64_t divisions = 0;  ///< final scaling divisions
+};
+
+WindowOpCount window_attention_ops(std::int64_t seq_len,
+                                   std::int64_t window_radius,
+                                   std::int64_t head_dim);
+
+}  // namespace swat::attn

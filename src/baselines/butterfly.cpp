@@ -1,0 +1,115 @@
+#include "baselines/butterfly.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "eval/calibration.hpp"
+#include "hw/power.hpp"
+
+namespace swat::baselines {
+
+ButterflyConfig ButterflyConfig::btf(int softmax_layers) {
+  ButterflyConfig c;
+  c.layers = calib::kModelLayers;
+  c.heads = calib::kModelHeads;
+  c.softmax_layers = softmax_layers;
+  return c;
+}
+
+ButterflyModel::ButterflyModel(ButterflyConfig cfg) : cfg_(cfg) {
+  SWAT_EXPECTS(cfg.layers >= 1);
+  SWAT_EXPECTS(cfg.softmax_layers >= 0 && cfg.softmax_layers <= cfg.layers);
+  SWAT_EXPECTS(cfg.heads >= 1);
+}
+
+Seconds ButterflyModel::attn_layer_full_fabric(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const double n = static_cast<double>(seq_len);
+  return Seconds{static_cast<double>(cfg_.heads) *
+                 calib::kButterflyAttnSecPerToken2 * n * n};
+}
+
+Seconds ButterflyModel::fft_layer_full_fabric(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const double n = static_cast<double>(seq_len);
+  return Seconds{static_cast<double>(cfg_.heads) *
+                 calib::kButterflyFftSecPerTokenLog * n * std::log2(n)};
+}
+
+ButterflyProjection ButterflyModel::project(std::int64_t seq_len) const {
+  const double a = attn_layer_full_fabric(seq_len).value *
+                   static_cast<double>(cfg_.softmax_layers);
+  const double f = fft_layer_full_fabric(seq_len).value *
+                   static_cast<double>(cfg_.layers - cfg_.softmax_layers);
+
+  ButterflyProjection p;
+  if (a == 0.0) {
+    // Pure FFT model: all fabric to the FFT engines.
+    p.attn_fraction = 0.0;
+    p.fft_time = Seconds{f};
+    p.attn_time = Seconds{0.0};
+    p.total = p.fft_time;
+    return p;
+  }
+  if (f == 0.0) {
+    p.attn_fraction = 1.0;
+    p.attn_time = Seconds{a};
+    p.fft_time = Seconds{0.0};
+    p.total = p.attn_time;
+    return p;
+  }
+  // T(r) = a/r + f/(1-r); dT/dr = 0 at r* = sqrt(a)/(sqrt(a)+sqrt(f)).
+  const double sa = std::sqrt(a);
+  const double sf = std::sqrt(f);
+  p.attn_fraction = sa / (sa + sf);
+  p.attn_time = Seconds{a / p.attn_fraction};
+  p.fft_time = Seconds{f / (1.0 - p.attn_fraction)};
+  p.total = Seconds{(sa + sf) * (sa + sf)};
+  SWAT_ENSURES(std::abs(p.total.value -
+                        (p.attn_time.value + p.fft_time.value)) <
+               1e-9 * p.total.value + 1e-15);
+  return p;
+}
+
+hw::ResourceVector ButterflyModel::resources() const {
+  // Published Table 2 Butterfly row (FP16, 120-BE) scaled by the VCU128
+  // totals: DSP 32%, LUT 79%, FF 63%, BRAM 49%.
+  const hw::ResourceVector total = hw::DeviceCatalog::vcu128().total;
+  return hw::ResourceVector{
+      .dsp = static_cast<std::int64_t>(0.32 * static_cast<double>(total.dsp)),
+      .lut = static_cast<std::int64_t>(0.79 * static_cast<double>(total.lut)),
+      .ff = static_cast<std::int64_t>(0.63 * static_cast<double>(total.ff)),
+      .bram =
+          static_cast<std::int64_t>(0.49 * static_cast<double>(total.bram)),
+      .uram = 0};
+}
+
+Watts ButterflyModel::power() const {
+  hw::PowerCoefficients coeff;
+  coeff.static_power = Watts{calib::kStaticWatts};
+  coeff.reference_clock = calib::kSwatClock;
+  coeff.dsp_mw = calib::kDspMilliwatts;
+  coeff.lut_mw = calib::kLutMilliwatts;
+  coeff.ff_mw = calib::kFfMilliwatts;
+  coeff.bram_mw = calib::kBramMilliwatts;
+  coeff.hbm_w_per_gbps = calib::kHbmWattsPerGbps;
+
+  hw::Activity act;
+  // Engines serialize: while the ATTN-BTF engine grinds through a softmax
+  // layer the FFT engines idle (and vice versa), so the fleet-average
+  // toggle rate is low. Calibrated against the paper's Fig. 9 energy
+  // ratios (see eval/calibration.hpp).
+  act.dsp_toggle = calib::kButterflyToggle;
+  act.lut_toggle = calib::kButterflyToggle;
+  act.ff_toggle = calib::kButterflyToggle;
+  act.bram_toggle = calib::kButterflyToggle;
+  act.hbm_gbps = 1.0;
+
+  return hw::estimate_power(coeff, resources(), calib::kSwatClock, act);
+}
+
+Joules ButterflyModel::model_energy(std::int64_t seq_len) const {
+  return energy(power(), project(seq_len).total);
+}
+
+}  // namespace swat::baselines

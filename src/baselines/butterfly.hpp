@@ -1,0 +1,69 @@
+// Butterfly accelerator model (paper §5.1/§5.3 — the FPGA baseline).
+//
+// The Butterfly accelerator [Fan et al., MICRO-55] has two engine types:
+//   * FFT-BTF  — butterfly/FFT mixing engine, O(N log N) per layer;
+//   * ATTN-BTF — standard softmax attention engine, O(N^2) per layer.
+// BTF-k denotes the accuracy-driven hybrid with the last k layers running
+// real softmax attention (paper Table 3 / §5.2).
+//
+// The paper *projects* Butterfly performance "by computing the optimal
+// ratio of resource distribution for FFT-BTF and ATTN-BTF engines at
+// different input lengths" (§5.3). We implement that projection: with a
+// fraction r of the fabric on ATTN-BTF engines, the serialized model time
+// is  T(r) = A / r + F / (1 - r)  where A and F are the full-fabric
+// attention / FFT workloads; the optimum is r* = sqrt(A)/(sqrt(A)+sqrt(F))
+// giving T* = (sqrt(A) + sqrt(F))^2.
+//
+// Anchors (eval/calibration.hpp): SWAT speedups 6.7x (BTF-1) and 12.2x
+// (BTF-2) at N = 4096; the published Table 2 resource row drives power.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "hw/resource.hpp"
+
+namespace swat::baselines {
+
+struct ButterflyConfig {
+  int layers = 8;          ///< model depth (calib::kModelLayers)
+  int softmax_layers = 1;  ///< k in BTF-k
+  int heads = 12;
+
+  static ButterflyConfig btf(int softmax_layers);
+};
+
+struct ButterflyProjection {
+  Seconds total;          ///< optimal-split model latency
+  double attn_fraction;   ///< r*: fabric share given to ATTN-BTF engines
+  Seconds attn_time;      ///< time in softmax-attention layers at r*
+  Seconds fft_time;       ///< time in FFT layers at r*
+};
+
+class ButterflyModel {
+ public:
+  explicit ButterflyModel(ButterflyConfig cfg = {});
+
+  const ButterflyConfig& config() const { return cfg_; }
+
+  /// Full-fabric single-layer times.
+  Seconds attn_layer_full_fabric(std::int64_t seq_len) const;
+  Seconds fft_layer_full_fabric(std::int64_t seq_len) const;
+
+  /// Optimal-resource-split projection for the whole model.
+  ButterflyProjection project(std::int64_t seq_len) const;
+
+  /// Resources on the VCU128 (published Table 2 row: FP16, 120-BE).
+  hw::ResourceVector resources() const;
+
+  /// Average board power (engines serialize; see calibration notes).
+  Watts power() const;
+
+  /// Energy for one forward pass of the model.
+  Joules model_energy(std::int64_t seq_len) const;
+
+ private:
+  ButterflyConfig cfg_;
+};
+
+}  // namespace swat::baselines

@@ -1,0 +1,68 @@
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "eval/calibration.hpp"
+
+namespace swat::baselines {
+
+GpuModel::GpuModel(GpuModelConfig cfg) : cfg_(cfg) {
+  SWAT_EXPECTS(cfg.head_dim > 0);
+  SWAT_EXPECTS(cfg.window_radius > 0);
+}
+
+double GpuModel::executed_flops(GpuKernel kernel, std::int64_t seq_len) const {
+  const double n = static_cast<double>(seq_len);
+  const double h = static_cast<double>(cfg_.head_dim);
+  if (kernel == GpuKernel::kDense) {
+    // QK GEMM (2 n^2 h) + softmax (~5 n^2) + SV GEMM (2 n^2 h).
+    return n * n * (4.0 * h + 5.0);
+  }
+  // Sliding chunks: (n/w - 1) overlapping (2w x 2w) tiles for QK and SV,
+  // every tile element executed (the redundancy of paper Fig. 2b), plus the
+  // same softmax volume on the tiles.
+  const double w = static_cast<double>(cfg_.window_radius);
+  const double tiles = std::max(1.0, n / w - 1.0);
+  const double tile_elems = tiles * (2.0 * w) * (2.0 * w);
+  return tile_elems * (4.0 * h + 5.0);
+}
+
+GpuEstimate GpuModel::estimate(GpuKernel kernel, std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const double n = static_cast<double>(seq_len);
+  const double h = static_cast<double>(cfg_.head_dim);
+  const double w = static_cast<double>(cfg_.window_radius);
+  constexpr double kFp32 = 4.0;
+
+  GpuEstimate e;
+  e.flops = executed_flops(kernel, seq_len);
+
+  if (kernel == GpuKernel::kDense) {
+    const double compute = e.flops / calib::kGpuDenseEffFlops;
+    // The unfused kernel chain writes and re-reads the N^2 score matrix
+    // twice (S out of the GEMM, S in/out of softmax, S' into the SV GEMM).
+    const double score_bytes = 4.0 * n * n * kFp32;
+    const double mem = score_bytes / calib::kGpuBandwidthBytesPerSec;
+    e.latency = Seconds{std::max({compute, mem,
+                                  calib::kGpuDenseFloor.value})};
+    // Peak live memory: the fp32 score matrix dominates (Fig. 3 right).
+    e.peak_memory =
+        Bytes{static_cast<std::uint64_t>(n * n * kFp32 + 4.0 * n * h * kFp32)};
+  } else {
+    const double tiles = std::max(1.0, n / w - 1.0);
+    const double compute = e.flops / calib::kGpuChunksEffFlops;
+    const double launches = 3.0 * tiles;  // QK, softmax, SV per tile
+    const double floor = std::max(calib::kGpuChunksFloor.value,
+                                  launches * calib::kGpuLaunchOverhead.value);
+    e.latency = Seconds{floor + compute};
+    const double tile_bytes = tiles * (2.0 * w) * (2.0 * w) * kFp32;
+    e.peak_memory =
+        Bytes{static_cast<std::uint64_t>(tile_bytes + 4.0 * n * h * kFp32)};
+  }
+
+  e.energy = energy(calib::kGpuBoardPower, e.latency);
+  return e;
+}
+
+}  // namespace swat::baselines

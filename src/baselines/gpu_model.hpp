@@ -1,0 +1,58 @@
+// AMD MI210 GPU performance/energy model (paper §5.4, Figs. 3 and 9).
+//
+// Roofline-style analytic model of the two GPU implementations the paper
+// measures with rocBLAS/MIOpen:
+//   * dense      — full N x N attention (QK GEMM, softmax, SV GEMM);
+//   * chunks     — the sliding-chunks kernel sequence (per-tile GEMMs with
+//                  ~50% redundant work and many small launches).
+//
+// Latency = max(compute leg, bandwidth leg, under-utilization floor)
+//           (+ launch overhead for the chunked kernel sequence).
+// The three behaviours the paper's comparison rests on are reproduced and
+// tested: a flat latency floor below ~4k tokens (single-batch
+// under-utilization), quadratic dense growth beyond it, and sliding-chunks
+// tracking dense in *time* while using linearly-scaling *memory*.
+//
+// All quantities are per single attention head (the paper's Fig. 3 unit);
+// energy uses the 300 W board power the paper quotes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace swat::baselines {
+
+enum class GpuKernel {
+  kDense,
+  kSlidingChunks,
+};
+
+struct GpuModelConfig {
+  std::int64_t head_dim = 64;
+  std::int64_t window_radius = 256;  ///< w for the chunked kernel (2w = 512)
+};
+
+struct GpuEstimate {
+  Seconds latency;
+  Bytes peak_memory;   ///< live working set (the Fig. 3 right panel)
+  Joules energy;       ///< latency x 300 W
+  double flops = 0.0;  ///< executed floating-point operations
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuModelConfig cfg = {});
+
+  /// Estimate one attention head of length `seq_len`.
+  GpuEstimate estimate(GpuKernel kernel, std::int64_t seq_len) const;
+
+  /// Executed FLOPs of each kernel (dense executes the full N^2; chunks
+  /// executes the redundant tile volume).
+  double executed_flops(GpuKernel kernel, std::int64_t seq_len) const;
+
+ private:
+  GpuModelConfig cfg_;
+};
+
+}  // namespace swat::baselines

@@ -1,0 +1,46 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.5/I.6 "state preconditions", I.7/I.8 "state postconditions").
+//
+// SWAT_EXPECTS(cond)  - precondition; throws std::invalid_argument.
+// SWAT_ENSURES(cond)  - postcondition / internal invariant; throws
+//                       std::logic_error (a violated ENSURES is a bug in the
+//                       library, not in the caller).
+//
+// Both macros stringify the condition and prepend file:line so that a failed
+// contract in a deep simulation loop is directly actionable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swat::detail {
+
+[[noreturn]] inline void contract_violation_expects(const char* cond,
+                                                    const char* file,
+                                                    int line) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line));
+}
+
+[[noreturn]] inline void contract_violation_ensures(const char* cond,
+                                                    const char* file,
+                                                    int line) {
+  throw std::logic_error(std::string("invariant failed: ") + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace swat::detail
+
+#define SWAT_EXPECTS(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::swat::detail::contract_violation_expects(#cond, __FILE__,       \
+                                                 __LINE__);             \
+  } while (false)
+
+#define SWAT_ENSURES(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::swat::detail::contract_violation_ensures(#cond, __FILE__,       \
+                                                 __LINE__);             \
+  } while (false)

@@ -1,0 +1,39 @@
+// Numeric-format descriptors shared by the functional simulator and the
+// performance/resource models.
+//
+// SWAT is synthesized in two precisions (paper Table 2 / §5.4): FP16 for the
+// main design and FP32 for the apples-to-apples GPU comparison. The choice
+// changes (a) arithmetic rounding in the functional model, (b) the MAC
+// initiation interval and hence the pipeline II (201 vs 264 cycles), and
+// (c) per-operator resource costs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+enum class Dtype : std::uint8_t {
+  kFp16,  ///< IEEE-754 binary16 (the paper's default datapath)
+  kFp32,  ///< IEEE-754 binary32 (comparison configuration, §5.4)
+};
+
+/// Size of one element in bytes; determines off-chip traffic volume.
+constexpr std::uint32_t dtype_bytes(Dtype d) {
+  return d == Dtype::kFp16 ? 2u : 4u;
+}
+
+/// Initiation interval of the pipelined MAC for this datatype on the U55C
+/// fabric (paper §4: FP16 MAC pipelined at II = 3; the FP32 configuration's
+/// 264-cycle pipeline for H = 64 implies II = 4).
+constexpr std::uint32_t mac_initiation_interval(Dtype d) {
+  return d == Dtype::kFp16 ? 3u : 4u;
+}
+
+constexpr std::string_view dtype_name(Dtype d) {
+  return d == Dtype::kFp16 ? "fp16" : "fp32";
+}
+
+}  // namespace swat

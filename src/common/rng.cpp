@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
+                                                          std::int64_t k) {
+  SWAT_EXPECTS(n >= 0 && k >= 0 && k <= n);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return out;
+
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const std::int64_t j = integer(i, n - 1);
+      std::swap(idx[static_cast<std::size_t>(i)],
+                idx[static_cast<std::size_t>(j)]);
+    }
+    out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<std::int64_t> seen;
+    while (static_cast<std::int64_t>(out.size()) < k) {
+      const std::int64_t v = integer(0, n - 1);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace swat

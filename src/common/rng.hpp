@@ -1,0 +1,49 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Every experiment in the repository is seeded, so benches and tests are
+// reproducible run-to-run. A thin wrapper over std::mt19937_64 keeps the
+// distribution code in one place and gives the attention workload
+// generators an explicit, single-purpose interface.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace swat {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// `k` distinct integers sampled uniformly from [0, n), sorted ascending.
+  /// Used for BigBird random-attention token selection (static per design,
+  /// paper §4.1: "randomly (but statically) selected").
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace swat

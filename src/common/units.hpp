@@ -1,0 +1,149 @@
+// Strong unit types for the quantities the performance models trade in.
+//
+// The models convert between cycles, seconds, joules and bytes constantly;
+// a bare `double` interface invites unit mistakes (P.1 "express ideas
+// directly in code", I.4 "make interfaces precisely and strongly typed").
+// Each wrapper is a trivially-copyable value type with explicit conversion
+// helpers; arithmetic is restricted to operations that make dimensional
+// sense.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+/// A count of clock cycles on some clock domain.
+struct Cycles {
+  std::uint64_t count = 0;
+
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(std::uint64_t c) : count(c) {}
+
+  friend constexpr Cycles operator+(Cycles a, Cycles b) {
+    return Cycles{a.count + b.count};
+  }
+  friend constexpr Cycles operator*(Cycles a, std::uint64_t k) {
+    return Cycles{a.count * k};
+  }
+  friend constexpr Cycles operator*(std::uint64_t k, Cycles a) {
+    return a * k;
+  }
+  constexpr Cycles& operator+=(Cycles o) {
+    count += o.count;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Cycles, Cycles) = default;
+};
+
+/// Clock frequency in hertz.
+struct Hertz {
+  double hz = 0.0;
+
+  constexpr Hertz() = default;
+  constexpr explicit Hertz(double v) : hz(v) {}
+  static constexpr Hertz mega(double mhz) { return Hertz{mhz * 1e6}; }
+  friend constexpr auto operator<=>(Hertz, Hertz) = default;
+};
+
+/// Wall-clock duration in seconds.
+struct Seconds {
+  double value = 0.0;
+
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : value(v) {}
+  static constexpr Seconds milli(double ms) { return Seconds{ms * 1e-3}; }
+  static constexpr Seconds micro(double us) { return Seconds{us * 1e-6}; }
+
+  constexpr double milliseconds() const { return value * 1e3; }
+  constexpr double microseconds() const { return value * 1e6; }
+
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds{a.value + b.value};
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds{a.value * k};
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.value / b.value;
+  }
+  constexpr Seconds& operator+=(Seconds o) {
+    value += o.value;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+};
+
+/// Electrical power in watts.
+struct Watts {
+  double value = 0.0;
+
+  constexpr Watts() = default;
+  constexpr explicit Watts(double v) : value(v) {}
+  friend constexpr Watts operator+(Watts a, Watts b) {
+    return Watts{a.value + b.value};
+  }
+  constexpr Watts& operator+=(Watts o) {
+    value += o.value;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Watts, Watts) = default;
+};
+
+/// Energy in joules.
+struct Joules {
+  double value = 0.0;
+
+  constexpr Joules() = default;
+  constexpr explicit Joules(double v) : value(v) {}
+  constexpr double millijoules() const { return value * 1e3; }
+  friend constexpr Joules operator+(Joules a, Joules b) {
+    return Joules{a.value + b.value};
+  }
+  friend constexpr double operator/(Joules a, Joules b) {
+    return a.value / b.value;
+  }
+  friend constexpr auto operator<=>(Joules, Joules) = default;
+};
+
+/// Memory size / traffic volume in bytes.
+struct Bytes {
+  std::uint64_t count = 0;
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t c) : count(c) {}
+  static constexpr Bytes kibi(std::uint64_t k) { return Bytes{k << 10}; }
+  static constexpr Bytes mebi(std::uint64_t m) { return Bytes{m << 20}; }
+
+  constexpr double mebibytes() const {
+    return static_cast<double>(count) / (1024.0 * 1024.0);
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count + b.count};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes{a.count * k};
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  constexpr Bytes& operator+=(Bytes o) {
+    count += o.count;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+};
+
+/// Convert a cycle count at a given frequency to wall-clock time.
+constexpr Seconds to_seconds(Cycles c, Hertz f) {
+  return Seconds{static_cast<double>(c.count) / f.hz};
+}
+
+/// Energy = average power * duration.
+constexpr Joules energy(Watts p, Seconds t) {
+  return Joules{p.value * t.value};
+}
+
+}  // namespace swat

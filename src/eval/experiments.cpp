@@ -1,0 +1,151 @@
+#include "eval/experiments.hpp"
+
+#include "baselines/butterfly.hpp"
+#include "baselines/gpu_model.hpp"
+#include "eval/calibration.hpp"
+#include "swat/analytic.hpp"
+#include "swat/power_model.hpp"
+#include "swat/stage_latency.hpp"
+
+namespace swat::eval {
+
+std::vector<std::int64_t> fig_lengths() {
+  return {512, 1024, 2048, 4096, 8192, 16384};
+}
+
+std::vector<std::int64_t> speedup_lengths() {
+  return {1024, 2048, 4096, 8192, 16384};
+}
+
+std::vector<Fig1Row> fig1_breakdown(const attn::LayerShape& base,
+                                    attn::AttentionVariant variant) {
+  std::vector<Fig1Row> rows;
+  for (std::int64_t n = 128; n <= 16384; n *= 2) {
+    attn::LayerShape shape = base;
+    shape.seq_len = n;
+    const attn::LayerCost c = attn::analyze_layer(shape, variant);
+    Fig1Row r;
+    r.seq_len = n;
+    r.linear_flops_share = c.linear_flops / c.total_flops();
+    r.attention_flops_share = c.attention_flops / c.total_flops();
+    r.ffn_flops_share = c.ffn_flops / c.total_flops();
+    r.linear_mops_share = c.linear_mops / c.total_mops();
+    r.attention_mops_share = c.attention_mops / c.total_mops();
+    r.ffn_mops_share = c.ffn_mops / c.total_mops();
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<Fig3Row> fig3_exec_mem() {
+  const baselines::GpuModel gpu;
+  const AnalyticModel swat16(SwatConfig::longformer_512(Dtype::kFp16));
+  const AnalyticModel swat32(SwatConfig::longformer_512(Dtype::kFp32));
+
+  std::vector<Fig3Row> rows;
+  for (std::int64_t n : fig_lengths()) {
+    const auto dense =
+        gpu.estimate(baselines::GpuKernel::kDense, n);
+    const auto chunks =
+        gpu.estimate(baselines::GpuKernel::kSlidingChunks, n);
+    Fig3Row r;
+    r.seq_len = n;
+    r.gpu_dense = dense.latency;
+    r.gpu_chunks = chunks.latency;
+    r.swat_fp16 = swat16.head_time(n);
+    r.swat_fp32 = swat32.head_time(n);
+    r.mem_gpu_dense = dense.peak_memory;
+    r.mem_gpu_chunks = chunks.peak_memory;
+    // SWAT's working set is the HBM-resident Q/K/V/Z stream (linear in n)
+    // plus the fixed on-chip K/V buffers.
+    r.mem_swat_fp16 = swat16.head_traffic(n) + swat16.onchip_working_set();
+    r.mem_swat_fp32 = swat32.head_traffic(n) + swat32.onchip_working_set();
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<Table1Entry> table1_stages(const SwatConfig& cfg) {
+  const StageLatencies s = stage_latencies(cfg);
+  return {
+      {"LOAD", s.load},       {"QK", s.qk},
+      {"SV", s.sv},           {"ZRED1", s.zred1},
+      {"ZRED2", s.zred2},     {"ROWSUM1", s.rowsum1},
+      {"ROWSUM2", s.rowsum2}, {"DIV&OUT", s.div_out},
+  };
+}
+
+std::vector<Fig8Row> fig8_speedups() {
+  const AnalyticModel swat(SwatConfig::longformer_512(Dtype::kFp16));
+  const baselines::ButterflyModel btf1(baselines::ButterflyConfig::btf(1));
+  const baselines::ButterflyModel btf2(baselines::ButterflyConfig::btf(2));
+
+  std::vector<Fig8Row> rows;
+  for (std::int64_t n : speedup_lengths()) {
+    const Seconds t_swat =
+        swat.model_time(n, calib::kModelHeads, calib::kModelLayers);
+    Fig8Row r;
+    r.seq_len = n;
+    r.speedup_vs_btf1 = btf1.project(n).total / t_swat;
+    r.speedup_vs_btf2 = btf2.project(n).total / t_swat;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<Fig9Row> fig9_energy_efficiency() {
+  const SwatConfig cfg16 = SwatConfig::longformer_512(Dtype::kFp16);
+  const SwatConfig cfg32 = SwatConfig::longformer_512(Dtype::kFp32);
+  const AnalyticModel swat16(cfg16);
+  const AnalyticModel swat32(cfg32);
+  const baselines::ButterflyModel btf1(baselines::ButterflyConfig::btf(1));
+  const baselines::ButterflyModel btf2(baselines::ButterflyConfig::btf(2));
+  const baselines::GpuModel gpu;
+
+  std::vector<Fig9Row> rows;
+  for (std::int64_t n : speedup_lengths()) {
+    Fig9Row r;
+    r.seq_len = n;
+
+    // Model-level comparison against Butterfly (both run the full L-layer
+    // model; SWAT runs every layer as window attention).
+    const Joules e16_model = swat_model_energy(cfg16, n, calib::kModelHeads,
+                                               calib::kModelLayers);
+    r.fp16_vs_btf1 = btf1.model_energy(n) / e16_model;
+    r.fp16_vs_btf2 = btf2.model_energy(n) / e16_model;
+
+    // Per-head comparison against the GPU kernels (the Fig. 3 unit).
+    const Joules e16 = swat_head_energy(cfg16, n);
+    const Joules e32 = swat_head_energy(cfg32, n);
+    const Joules gpu_dense =
+        gpu.estimate(baselines::GpuKernel::kDense, n).energy;
+    const Joules gpu_chunks =
+        gpu.estimate(baselines::GpuKernel::kSlidingChunks, n).energy;
+    r.fp16_vs_gpu_dense = gpu_dense / e16;
+    r.fp16_vs_gpu_chunks = gpu_chunks / e16;
+    r.fp32_vs_gpu_dense = gpu_dense / e32;
+    r.fp32_vs_gpu_chunks = gpu_chunks / e32;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<PublishedAccuracyRow> table3_published() {
+  return {
+      {"Longformer", 15.26, 3.03, 0.17, 1.61, 5.02},
+      {"Bigbird", 13.87, 8.16, 1.34, 2.03, 6.35},
+      {"BTF-1", 6.26, 2.85, 0.01, 2.40, 3.01},
+      {"BTF-2", 8.95, 2.14, 1.05, 2.42, 3.64},
+  };
+}
+
+std::vector<PublishedImagenetRow> table4_published() {
+  return {
+      {"ViL-Tiny", 6.7, 76.7},   {"Pixelfly-M-S", 5.9, 72.6},
+      {"ViL-Small", 24.6, 82.4}, {"Pixelfly-V-S", 16.9, 77.5},
+      {"Pixelfly-M-B", 17.4, 76.3}, {"Pixelfly-V-B", 28.2, 78.6},
+      {"ViL-Med", 39.7, 83.5},
+  };
+}
+
+}  // namespace swat::eval

@@ -1,0 +1,93 @@
+// Experiment drivers: one function per paper table/figure, shared by the
+// bench binaries (which print them) and the test suite (which asserts the
+// anchored values and shape properties). See DESIGN.md §4 for the index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/flops.hpp"
+#include "common/units.hpp"
+#include "swat/config.hpp"
+
+namespace swat::eval {
+
+/// Standard sweep of input lengths used across the evaluation figures.
+std::vector<std::int64_t> fig_lengths();        ///< 512 .. 16384 (Fig. 3)
+std::vector<std::int64_t> speedup_lengths();    ///< 1024 .. 16384 (Figs. 8/9)
+
+// ---- Fig. 1: FLOPs / MOPs breakdown ---------------------------------------
+struct Fig1Row {
+  std::int64_t seq_len = 0;
+  double linear_flops_share = 0.0;
+  double attention_flops_share = 0.0;
+  double ffn_flops_share = 0.0;
+  double linear_mops_share = 0.0;
+  double attention_mops_share = 0.0;
+  double ffn_mops_share = 0.0;
+};
+std::vector<Fig1Row> fig1_breakdown(const attn::LayerShape& base,
+                                    attn::AttentionVariant variant);
+
+// ---- Fig. 3: execution time and memory per attention ----------------------
+struct Fig3Row {
+  std::int64_t seq_len = 0;
+  Seconds gpu_dense;
+  Seconds gpu_chunks;
+  Seconds swat_fp16;
+  Seconds swat_fp32;
+  Bytes mem_gpu_dense;
+  Bytes mem_gpu_chunks;
+  Bytes mem_swat_fp16;
+  Bytes mem_swat_fp32;
+};
+std::vector<Fig3Row> fig3_exec_mem();
+
+// ---- Table 1: pipeline stage timing ----------------------------------------
+struct Table1Entry {
+  const char* stage = "";
+  Cycles cycles;
+};
+std::vector<Table1Entry> table1_stages(const SwatConfig& cfg);
+
+// ---- Fig. 8: speedup over Butterfly ----------------------------------------
+struct Fig8Row {
+  std::int64_t seq_len = 0;
+  double speedup_vs_btf1 = 0.0;
+  double speedup_vs_btf2 = 0.0;
+};
+std::vector<Fig8Row> fig8_speedups();
+
+// ---- Fig. 9: energy efficiency ---------------------------------------------
+struct Fig9Row {
+  std::int64_t seq_len = 0;
+  double fp16_vs_btf1 = 0.0;
+  double fp16_vs_btf2 = 0.0;
+  double fp16_vs_gpu_dense = 0.0;
+  double fp16_vs_gpu_chunks = 0.0;
+  double fp32_vs_gpu_dense = 0.0;
+  double fp32_vs_gpu_chunks = 0.0;
+};
+std::vector<Fig9Row> fig9_energy_efficiency();
+
+// ---- Tables 3 / 4: published accuracy numbers ------------------------------
+struct PublishedAccuracyRow {
+  const char* model = "";
+  double image = 0.0;
+  double pathfinder = 0.0;
+  double text = 0.0;
+  double listops = 0.0;
+  double avg = 0.0;
+};
+/// Table 3 as published (accuracy gain over full-FFT Butterfly, percent).
+std::vector<PublishedAccuracyRow> table3_published();
+
+struct PublishedImagenetRow {
+  const char* model = "";
+  double params_m = 0.0;
+  double top1 = 0.0;
+};
+/// Table 4 as published (ImageNet-1K top-1).
+std::vector<PublishedImagenetRow> table4_published();
+
+}  // namespace swat::eval

@@ -1,0 +1,39 @@
+// Minimal fixed-width table renderer for the bench binaries (every bench
+// prints the same rows/series the corresponding paper table or figure
+// reports) plus CSV dumping for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swat::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+  static std::string times(double ratio, int precision = 1);  ///< "6.7x"
+  static std::string ms(double seconds, int precision = 2);
+  static std::string mb(double bytes, int precision = 1);
+
+  /// Render with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (headers + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swat::eval

@@ -1,0 +1,11 @@
+#include "hw/bram.hpp"
+
+namespace swat::hw {
+
+std::int64_t brams_for_buffer(std::int64_t rows, std::int64_t bits_per_row) {
+  SWAT_EXPECTS(rows > 0 && bits_per_row > 0);
+  const std::int64_t total = rows * bits_per_row;
+  return (total + BramBlock::kBitsPerBlock - 1) / BramBlock::kBitsPerBlock;
+}
+
+}  // namespace swat::hw

@@ -1,0 +1,53 @@
+// Block-RAM model.
+//
+// SWAT stores one K row and one V row per attention core in a BRAM block
+// (paper §4, LOAD stage: "Each K/V buffer uses one BRAM block, storing a
+// full row of K or V of size H"). The model tracks capacity in bits, the
+// dual-port access constraint, and read/write counts for the power model's
+// toggle-rate estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace swat::hw {
+
+/// One 36 Kb UltraScale+ BRAM block (two independent ports).
+class BramBlock {
+ public:
+  static constexpr std::int64_t kBitsPerBlock = 36 * 1024;
+  static constexpr int kPorts = 2;
+
+  BramBlock() = default;
+
+  /// Reserve `bits` of storage; returns false (and reserves nothing) if the
+  /// block would overflow.
+  bool reserve(std::int64_t bits) {
+    SWAT_EXPECTS(bits >= 0);
+    if (used_bits_ + bits > kBitsPerBlock) return false;
+    used_bits_ += bits;
+    return true;
+  }
+
+  std::int64_t used_bits() const { return used_bits_; }
+  std::int64_t free_bits() const { return kBitsPerBlock - used_bits_; }
+
+  void record_read(std::int64_t count = 1) { reads_ += count; }
+  void record_write(std::int64_t count = 1) { writes_ += count; }
+  std::int64_t reads() const { return reads_; }
+  std::int64_t writes() const { return writes_; }
+
+ private:
+  std::int64_t used_bits_ = 0;
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+/// How many BRAM blocks a buffer of `rows` x `bits_per_row` needs, given
+/// that a block serves at most `kPorts` concurrent accesses — SWAT sizes
+/// one K row + one V row (H elements each) into a single block, which the
+/// resource model and tests verify fits for H = 64 at both precisions.
+std::int64_t brams_for_buffer(std::int64_t rows, std::int64_t bits_per_row);
+
+}  // namespace swat::hw

@@ -1,0 +1,13 @@
+// ReplacementFifo is header-only (class template); this translation unit
+// exists to give the target a compiled symbol and to host an explicit
+// instantiation that keeps the template continuously compiled.
+#include "hw/fifo.hpp"
+
+#include <vector>
+
+namespace swat::hw {
+
+template class ReplacementFifo<std::int64_t>;
+template class ReplacementFifo<std::vector<float>>;
+
+}  // namespace swat::hw

@@ -1,0 +1,102 @@
+// Fixed-length FIFO replacement buffer — the K/V management structure of
+// paper Fig. 4b.
+//
+// SWAT keeps the 2w live K (and V) rows in a ring of fixed capacity with a
+// single moving pointer marking "next to evict". When the window slides by
+// one row, exactly one slot is refreshed; every datum is loaded exactly once
+// (the 100% off-chip transfer-efficiency claim, tested in tests/test_fifo
+// and end-to-end via the functional simulator's traffic counters).
+//
+// The template parameterizes the payload so the same structure backs the
+// timing model (payload = row index only) and the functional model
+// (payload = the fp16 row data).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace swat::hw {
+
+template <typename Payload>
+class ReplacementFifo {
+ public:
+  explicit ReplacementFifo(std::int64_t capacity)
+      : slots_(static_cast<std::size_t>(capacity)) {
+    SWAT_EXPECTS(capacity > 0);
+  }
+
+  std::int64_t capacity() const {
+    return static_cast<std::int64_t>(slots_.size());
+  }
+
+  std::int64_t occupied() const { return occupied_; }
+  bool full() const { return occupied_ == capacity(); }
+
+  /// The slot index that the next push will (over)write — the paper's
+  /// "next to evict" pointer.
+  std::int64_t evict_pointer() const { return pointer_; }
+
+  /// Insert a new payload tagged with its sequence row index, evicting the
+  /// oldest entry if full. Returns the slot written, i.e. the attention core
+  /// whose K/V buffer is refreshed this iteration.
+  std::int64_t push(std::int64_t row, Payload payload) {
+    const std::int64_t slot = pointer_;
+    auto& s = slots_[static_cast<std::size_t>(slot)];
+    if (!s.valid) {
+      s.valid = true;
+      ++occupied_;
+    } else {
+      ++evictions_;
+    }
+    s.row = row;
+    s.payload = std::move(payload);
+    pointer_ = (pointer_ + 1) % capacity();
+    ++pushes_;
+    return slot;
+  }
+
+  /// Slot contents; nullopt while the slot has not been filled yet
+  /// (pipeline warm-up at the start of the sequence).
+  struct Entry {
+    std::int64_t row = -1;
+    Payload payload{};
+  };
+  std::optional<Entry> slot(std::int64_t s) const {
+    SWAT_EXPECTS(s >= 0 && s < capacity());
+    const auto& e = slots_[static_cast<std::size_t>(s)];
+    if (!e.valid) return std::nullopt;
+    return Entry{e.row, e.payload};
+  }
+
+  /// Find the slot currently holding sequence row `row`, if resident.
+  /// With the modulo replacement policy row r lives in slot r % capacity
+  /// while resident, which the functional simulator relies on; this scan is
+  /// the independent check used by the tests.
+  std::optional<std::int64_t> find_row(std::int64_t row) const {
+    for (std::int64_t s = 0; s < capacity(); ++s) {
+      const auto& e = slots_[static_cast<std::size_t>(s)];
+      if (e.valid && e.row == row) return s;
+    }
+    return std::nullopt;
+  }
+
+  std::int64_t pushes() const { return pushes_; }
+  std::int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::int64_t row = -1;
+    Payload payload{};
+  };
+  std::vector<Slot> slots_;
+  std::int64_t pointer_ = 0;
+  std::int64_t occupied_ = 0;
+  std::int64_t pushes_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace swat::hw

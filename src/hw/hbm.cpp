@@ -1,0 +1,2 @@
+// HbmChannel is fully inline; the translation unit anchors the target.
+#include "hw/hbm.hpp"

@@ -1,0 +1,56 @@
+// Off-chip memory (HBM / DRAM) traffic model.
+//
+// The functional simulator routes every off-chip load and store through an
+// HbmChannel so that the paper's central dataflow claim — each input element
+// is transferred exactly once (§3.2: "ensuring data is loaded exactly once
+// and achieving 100% off-chip memory transfer efficiency") — is *measured*,
+// not assumed. The channel also converts traffic to transfer cycles for the
+// timing model and to energy for the power model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace swat::hw {
+
+struct HbmSpec {
+  double bandwidth_gbps = 460.0;  ///< U55C HBM2: 460 GB/s aggregate
+  double pj_per_byte = 7.0;       ///< HBM2 access energy (~7 pJ/byte)
+};
+
+class HbmChannel {
+ public:
+  explicit HbmChannel(HbmSpec spec = {}) : spec_(spec) {
+    SWAT_EXPECTS(spec.bandwidth_gbps > 0.0);
+  }
+
+  void record_read(Bytes b) { read_ += b; }
+  void record_write(Bytes b) { written_ += b; }
+
+  Bytes bytes_read() const { return read_; }
+  Bytes bytes_written() const { return written_; }
+  Bytes total_traffic() const { return read_ + written_; }
+
+  /// Minimum transfer time for the accumulated traffic at full bandwidth.
+  Seconds transfer_time() const {
+    return Seconds{static_cast<double>(total_traffic().count) /
+                   (spec_.bandwidth_gbps * 1e9)};
+  }
+
+  /// DRAM access energy for the accumulated traffic.
+  Joules access_energy() const {
+    return Joules{static_cast<double>(total_traffic().count) *
+                  spec_.pj_per_byte * 1e-12};
+  }
+
+  const HbmSpec& spec() const { return spec_; }
+
+ private:
+  HbmSpec spec_;
+  Bytes read_;
+  Bytes written_;
+};
+
+}  // namespace swat::hw

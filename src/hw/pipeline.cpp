@@ -1,0 +1,61 @@
+#include "hw/pipeline.hpp"
+
+#include <algorithm>
+
+namespace swat::hw {
+
+PipelineModel::PipelineModel(std::vector<PipelineStage> stages)
+    : stages_(std::move(stages)) {
+  SWAT_EXPECTS(!stages_.empty());
+  // Build sequential depth slots: consecutive stages with the same
+  // non-negative parallel_group share one slot.
+  int last_group = -2;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const int g = stages_[i].parallel_group;
+    const bool join_previous = g >= 0 && g == last_group;
+    if (join_previous) {
+      depths_.back().push_back(i);
+    } else {
+      depths_.push_back({i});
+    }
+    last_group = g;
+  }
+}
+
+Cycles PipelineModel::row_initiation_interval() const {
+  Cycles ii{0};
+  for (const auto& s : stages_) ii = std::max(ii, s.latency);
+  return ii;
+}
+
+Cycles PipelineModel::fill_latency() const {
+  Cycles fill{0};
+  for (const auto& depth : depths_) {
+    Cycles longest{0};
+    for (std::size_t idx : depth) {
+      longest = std::max(longest, stages_[idx].latency);
+    }
+    fill += longest;
+  }
+  return fill;
+}
+
+Cycles PipelineModel::total_cycles(std::int64_t rows) const {
+  SWAT_EXPECTS(rows > 0);
+  return fill_latency() +
+         row_initiation_interval() * static_cast<std::uint64_t>(rows - 1);
+}
+
+double PipelineModel::stage_utilization(std::size_t s) const {
+  SWAT_EXPECTS(s < stages_.size());
+  const auto ii = row_initiation_interval();
+  SWAT_ENSURES(ii.count > 0);
+  return static_cast<double>(stages_[s].latency.count) /
+         static_cast<double>(ii.count);
+}
+
+std::int64_t PipelineModel::depth() const {
+  return static_cast<std::int64_t>(depths_.size());
+}
+
+}  // namespace swat::hw

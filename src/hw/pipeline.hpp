@@ -1,0 +1,62 @@
+// Coarse-grained pipeline model.
+//
+// SWAT executes one query row per pipeline "beat": LOAD -> QK -> SV ->
+// {Z-reduction || Row-sum} -> DIV&OUT (paper Fig. 6). Each stage has a fixed
+// latency from the HLS report (paper Table 1); the throughput of the whole
+// pipeline is set by the slowest stage (the initiation interval of the row
+// pipeline), and the fill latency is the longest stage-path sum.
+//
+// PipelineModel captures an arbitrary DAG of stages (parallel branches are
+// expressed by `parallel_group` ids) and answers: row II, fill latency,
+// total cycles for N rows, and per-stage utilization. The stage-level
+// TimingSimulator (src/swat/timing_sim) advances the same structure cycle
+// by cycle and is cross-checked against the closed forms here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace swat::hw {
+
+struct PipelineStage {
+  std::string name;
+  Cycles latency{0};
+  /// Stages sharing a parallel_group run concurrently at the same depth
+  /// (e.g. Z-reduction and Row-sum); -1 means a dedicated sequential slot.
+  int parallel_group = -1;
+};
+
+class PipelineModel {
+ public:
+  explicit PipelineModel(std::vector<PipelineStage> stages);
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+
+  /// Initiation interval of the row pipeline: the slowest stage bounds how
+  /// often a new row can enter.
+  Cycles row_initiation_interval() const;
+
+  /// Fill (drain) latency: the sum over sequential depths of the longest
+  /// stage at each depth.
+  Cycles fill_latency() const;
+
+  /// Total cycles to stream `rows` rows: fill + (rows - 1) * II.
+  Cycles total_cycles(std::int64_t rows) const;
+
+  /// Utilization of stage s in steady state: latency(s) / II.
+  double stage_utilization(std::size_t s) const;
+
+  /// Number of sequential depths (parallel branches count once).
+  std::int64_t depth() const;
+
+ private:
+  std::vector<PipelineStage> stages_;
+  /// stage index lists per sequential depth.
+  std::vector<std::vector<std::size_t>> depths_;
+};
+
+}  // namespace swat::hw

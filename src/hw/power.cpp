@@ -1,0 +1,24 @@
+#include "hw/power.hpp"
+
+namespace swat::hw {
+
+Watts estimate_power(const PowerCoefficients& coeff,
+                     const ResourceVector& used, Hertz clock,
+                     const Activity& activity) {
+  SWAT_EXPECTS(clock.hz > 0.0);
+  SWAT_EXPECTS(coeff.reference_clock.hz > 0.0);
+  const double fscale = clock.hz / coeff.reference_clock.hz;
+  double dynamic_mw = 0.0;
+  dynamic_mw += static_cast<double>(used.dsp) * coeff.dsp_mw *
+                activity.dsp_toggle;
+  dynamic_mw += static_cast<double>(used.lut) * coeff.lut_mw *
+                activity.lut_toggle;
+  dynamic_mw +=
+      static_cast<double>(used.ff) * coeff.ff_mw * activity.ff_toggle;
+  dynamic_mw += static_cast<double>(used.bram) * coeff.bram_mw *
+                activity.bram_toggle;
+  const double hbm_w = activity.hbm_gbps * coeff.hbm_w_per_gbps;
+  return Watts{coeff.static_power.value + dynamic_mw * 1e-3 * fscale + hbm_w};
+}
+
+}  // namespace swat::hw

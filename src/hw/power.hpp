@@ -1,0 +1,43 @@
+// Generic FPGA power model in the style of the Xilinx Power Estimator.
+//
+// XPE computes board power as static power plus per-resource dynamic power
+// scaled by clock frequency and toggle rate. The paper evaluates SWAT's
+// power "using the Xilinx Power Estimator" (§5.3); we reproduce the same
+// methodology. Unit energies are supplied by the caller (see
+// eval/calibration.hpp for the values used by the SWAT and Butterfly
+// models and the paper data that anchors them).
+#pragma once
+
+#include "common/units.hpp"
+#include "hw/resource.hpp"
+
+namespace swat::hw {
+
+/// Dynamic power per active resource at 100% toggle rate and the reference
+/// frequency below, plus device static power.
+struct PowerCoefficients {
+  Watts static_power{10.0};
+  Hertz reference_clock = Hertz::mega(300.0);
+  double dsp_mw = 1.7;        ///< per DSP slice
+  double lut_mw = 0.012;      ///< per LUT
+  double ff_mw = 0.0035;      ///< per flip-flop
+  double bram_mw = 4.5;       ///< per active 36 Kb block
+  double hbm_w_per_gbps = 0.012;  ///< HBM PHY+stack per GB/s of traffic
+};
+
+/// Activity of the design: toggle rate per resource class (0..1) and the
+/// achieved off-chip bandwidth.
+struct Activity {
+  double dsp_toggle = 0.5;
+  double lut_toggle = 0.25;
+  double ff_toggle = 0.25;
+  double bram_toggle = 0.5;
+  double hbm_gbps = 0.0;
+};
+
+/// Total board power for `used` resources clocked at `clock` with the given
+/// activity factors.
+Watts estimate_power(const PowerCoefficients& coeff, const ResourceVector& used,
+                     Hertz clock, const Activity& activity);
+
+}  // namespace swat::hw

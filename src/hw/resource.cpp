@@ -1,0 +1,47 @@
+#include "hw/resource.hpp"
+
+#include <algorithm>
+
+namespace swat::hw {
+
+double Utilization::max_fraction() const {
+  return std::max({dsp, lut, ff, bram, uram});
+}
+
+Utilization DeviceCatalog::utilization(const ResourceVector& used) const {
+  SWAT_EXPECTS(total.dsp > 0 && total.lut > 0 && total.ff > 0 &&
+               total.bram > 0);
+  Utilization u;
+  u.dsp = static_cast<double>(used.dsp) / static_cast<double>(total.dsp);
+  u.lut = static_cast<double>(used.lut) / static_cast<double>(total.lut);
+  u.ff = static_cast<double>(used.ff) / static_cast<double>(total.ff);
+  u.bram = static_cast<double>(used.bram) / static_cast<double>(total.bram);
+  u.uram = total.uram > 0 ? static_cast<double>(used.uram) /
+                                static_cast<double>(total.uram)
+                          : 0.0;
+  return u;
+}
+
+DeviceCatalog DeviceCatalog::u55c() {
+  // XCU55C: 1,304k LUTs, 2,607k FFs, 9,024 DSP48E2, 2,016 x 36Kb BRAM,
+  // 960 URAM (Xilinx DS963).
+  return DeviceCatalog{"Alveo U55C",
+                       ResourceVector{.dsp = 9024,
+                                      .lut = 1303680,
+                                      .ff = 2607360,
+                                      .bram = 2016,
+                                      .uram = 960}};
+}
+
+DeviceCatalog DeviceCatalog::vcu128() {
+  // XCVU37P on VCU128: identical logical totals to the U55C fabric
+  // (paper §5.3 footnote: "same number of logical resources").
+  return DeviceCatalog{"VCU128",
+                       ResourceVector{.dsp = 9024,
+                                      .lut = 1303680,
+                                      .ff = 2607360,
+                                      .bram = 2016,
+                                      .uram = 960}};
+}
+
+}  // namespace swat::hw

@@ -1,0 +1,79 @@
+// FPGA resource accounting.
+//
+// ResourceVector counts the four fabric resource classes the paper's
+// Table 2 reports (DSP slices, LUTs, flip-flops, BRAM blocks; URAM tracked
+// too for completeness). DeviceCatalog provides the totals of the two
+// boards in the evaluation — Alveo U55C (SWAT) and VCU128 (Butterfly) —
+// which the paper notes have the same logical resource counts (§5.3 fn. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace swat::hw {
+
+struct ResourceVector {
+  std::int64_t dsp = 0;
+  std::int64_t lut = 0;
+  std::int64_t ff = 0;
+  std::int64_t bram = 0;  ///< 36 Kb blocks
+  std::int64_t uram = 0;
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a.dsp += b.dsp;
+    a.lut += b.lut;
+    a.ff += b.ff;
+    a.bram += b.bram;
+    a.uram += b.uram;
+    return a;
+  }
+  ResourceVector& operator+=(const ResourceVector& b) {
+    return *this = *this + b;
+  }
+  friend ResourceVector operator*(ResourceVector a, std::int64_t k) {
+    a.dsp *= k;
+    a.lut *= k;
+    a.ff *= k;
+    a.bram *= k;
+    a.uram *= k;
+    return a;
+  }
+  friend ResourceVector operator*(std::int64_t k, ResourceVector a) {
+    return a * k;
+  }
+  friend bool operator==(const ResourceVector&, const ResourceVector&) =
+      default;
+
+  bool fits_in(const ResourceVector& budget) const {
+    return dsp <= budget.dsp && lut <= budget.lut && ff <= budget.ff &&
+           bram <= budget.bram && uram <= budget.uram;
+  }
+};
+
+/// Fractional utilization of `used` against `total` per resource class.
+struct Utilization {
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram = 0.0;
+  double uram = 0.0;
+
+  /// The binding (maximum) utilization across classes.
+  double max_fraction() const;
+};
+
+struct DeviceCatalog {
+  std::string name;
+  ResourceVector total;
+
+  Utilization utilization(const ResourceVector& used) const;
+
+  /// Xilinx Alveo U55C (XCU55C): the SWAT board.
+  static DeviceCatalog u55c();
+  /// Xilinx VCU128 (XCVU37P): the Butterfly board; same logical totals.
+  static DeviceCatalog vcu128();
+};
+
+}  // namespace swat::hw

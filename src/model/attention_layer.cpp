@@ -1,0 +1,102 @@
+#include "model/attention_layer.hpp"
+
+#include <cmath>
+
+#include "attention/window.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::model {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
+                                       std::int64_t num_heads,
+                                       AttentionBackend backend,
+                                       SwatConfig swat_cfg, Rng& rng)
+    : d_model_(d_model), num_heads_(num_heads), backend_(backend),
+      swat_cfg_(std::move(swat_cfg)), wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng), wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng) {
+  SWAT_EXPECTS(d_model > 0 && num_heads > 0);
+  SWAT_EXPECTS(d_model % num_heads == 0);
+  swat_cfg_.validate();
+  SWAT_EXPECTS(swat_cfg_.head_dim == d_model / num_heads);
+  if (backend_ == AttentionBackend::kSwatSimulator) {
+    sim_.emplace(swat_cfg_);
+  }
+}
+
+std::int64_t MultiHeadAttention::parameters() const {
+  return wq_.parameters() + wk_.parameters() + wv_.parameters() +
+         wo_.parameters();
+}
+
+MatrixF MultiHeadAttention::attend_one_head(
+    const attn::HeadInput& head) const {
+  switch (backend_) {
+    case AttentionBackend::kDenseReference:
+      return attn::dense_attention(head);
+    case AttentionBackend::kWindowExact: {
+      // The exact algorithm SWAT realizes, float32 on the host. For the
+      // pattern-augmented configs (global/random) fall back to the masked
+      // oracle so all backends agree on the attended set.
+      if (swat_cfg_.global_cores == 0 && swat_cfg_.random_cores == 0 &&
+          swat_cfg_.window_dilation == 1) {
+        return attn::band_attention(head, swat_cfg_.window_before(),
+                                    swat_cfg_.window_after());
+      }
+      const attn::AttentionPattern pattern(
+          swat_cfg_.pattern_spec(head.seq_len()));
+      return attn::masked_attention(head, pattern);
+    }
+    case AttentionBackend::kSwatSimulator: {
+      const FunctionalResult res = sim_->run(head);
+      stats_.swat_offchip_traffic +=
+          res.total_read() + res.z_bytes_written;
+      stats_.swat_core_loads += res.window_core_loads +
+                                res.global_core_loads +
+                                res.random_core_loads;
+      return res.z;
+    }
+  }
+  SWAT_ENSURES(false);
+  return {};
+}
+
+MatrixF MultiHeadAttention::forward(const MatrixF& x) const {
+  SWAT_EXPECTS(x.cols() == d_model_);
+  const std::int64_t n = x.rows();
+  const std::int64_t h = head_dim();
+  stats_ = AttentionStats{};
+
+  const MatrixF q = wq_.forward(x);
+  const MatrixF k = wk_.forward(x);
+  const MatrixF v = wv_.forward(x);
+
+  // Per-head slices; the 1/sqrt(h) scaling folds into Q (the convention the
+  // attention kernels in this repository assume).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(h));
+  MatrixF concat(n, d_model_);
+  for (std::int64_t head = 0; head < num_heads_; ++head) {
+    attn::HeadInput in;
+    in.q = MatrixF(n, h);
+    in.k = MatrixF(n, h);
+    in.v = MatrixF(n, h);
+    const std::int64_t base = head * h;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t d = 0; d < h; ++d) {
+        in.q(i, d) = q(i, base + d) * scale;
+        in.k(i, d) = k(i, base + d);
+        in.v(i, d) = v(i, base + d);
+      }
+    }
+    const MatrixF z = attend_one_head(in);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t d = 0; d < h; ++d) {
+        concat(i, base + d) = z(i, d);
+      }
+    }
+    ++stats_.heads_run;
+  }
+  return wo_.forward(concat);
+}
+
+}  // namespace swat::model

@@ -1,0 +1,73 @@
+// Multi-head attention layer with a pluggable attention backend.
+//
+// The backend selects where the core attention computation runs:
+//   * kDenseReference — host float32 dense softmax attention (oracle);
+//   * kWindowExact    — host float32 exact banded attention (the algorithm
+//                       SWAT implements, no hardware effects);
+//   * kSwatSimulator  — the SWAT functional simulator: each head is
+//                       scheduled onto the accelerator model, including the
+//                       fp16 datapath rounding and the off-chip traffic
+//                       accounting.
+//
+// Comparing backends layer-for-layer is how the repository demonstrates
+// end-to-end what replacing the GPU attention kernel with SWAT does to a
+// real model's activations.
+#pragma once
+
+#include <optional>
+
+#include "attention/reference.hpp"
+#include "model/linear.hpp"
+#include "swat/config.hpp"
+#include "swat/functional_sim.hpp"
+
+namespace swat::model {
+
+enum class AttentionBackend {
+  kDenseReference,
+  kWindowExact,
+  kSwatSimulator,
+};
+
+struct AttentionStats {
+  Bytes swat_offchip_traffic;       ///< accumulated across heads (SWAT only)
+  std::int64_t swat_core_loads = 0;
+  std::int64_t heads_run = 0;
+};
+
+class MultiHeadAttention {
+ public:
+  /// `swat_cfg.head_dim` must equal d_model / num_heads when the SWAT
+  /// backend is selected; for the window backends the band is taken from
+  /// swat_cfg's window parameters so all three backends agree on the
+  /// pattern.
+  MultiHeadAttention(std::int64_t d_model, std::int64_t num_heads,
+                     AttentionBackend backend, SwatConfig swat_cfg, Rng& rng);
+
+  /// Y = W_o . concat_heads(attend(W_q X, W_k X, W_v X)).
+  MatrixF forward(const MatrixF& x) const;
+
+  /// Statistics from the most recent forward() (SWAT backend only).
+  const AttentionStats& last_stats() const { return stats_; }
+
+  AttentionBackend backend() const { return backend_; }
+  std::int64_t num_heads() const { return num_heads_; }
+  std::int64_t head_dim() const { return d_model_ / num_heads_; }
+  std::int64_t parameters() const;
+
+ private:
+  MatrixF attend_one_head(const attn::HeadInput& head) const;
+
+  std::int64_t d_model_;
+  std::int64_t num_heads_;
+  AttentionBackend backend_;
+  SwatConfig swat_cfg_;
+  std::optional<FunctionalSimulator> sim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  mutable AttentionStats stats_;
+};
+
+}  // namespace swat::model

@@ -1,0 +1,89 @@
+#include "model/encoder.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace swat::model {
+
+EncoderConfig EncoderConfig::longformer_base(AttentionBackend backend) {
+  EncoderConfig cfg;
+  cfg.d_model = 768;
+  cfg.num_heads = 12;
+  cfg.ffn_mult = 4;
+  cfg.layers = 8;
+  cfg.backend = backend;
+  cfg.swat = SwatConfig::longformer_512();
+  return cfg;
+}
+
+float gelu(float x) {
+  const float c = std::sqrt(2.0f / std::numbers::pi_v<float>);
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
+    : mha_(cfg.d_model, cfg.num_heads, cfg.backend, cfg.swat, rng),
+      norm1_(cfg.d_model),
+      ffn1_(cfg.d_model, cfg.d_model * cfg.ffn_mult, rng),
+      ffn2_(cfg.d_model * cfg.ffn_mult, cfg.d_model, rng),
+      norm2_(cfg.d_model) {}
+
+MatrixF EncoderLayer::forward(const MatrixF& x) const {
+  // Attention block with residual, post-norm.
+  MatrixF attn_out = mha_.forward(x);
+  {
+    auto a = attn_out.flat();
+    auto in = x.flat();
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += in[i];
+  }
+  const MatrixF h = norm1_.forward(attn_out);
+
+  // FFN block with residual, post-norm.
+  MatrixF f = ffn1_.forward(h);
+  for (float& v : f.flat()) v = gelu(v);
+  MatrixF f2 = ffn2_.forward(f);
+  {
+    auto a = f2.flat();
+    auto in = h.flat();
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += in[i];
+  }
+  return norm2_.forward(f2);
+}
+
+std::int64_t EncoderLayer::parameters() const {
+  return mha_.parameters() + norm1_.parameters() + ffn1_.parameters() +
+         ffn2_.parameters() + norm2_.parameters();
+}
+
+Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
+  SWAT_EXPECTS(cfg_.layers >= 1);
+  Rng rng(cfg_.weight_seed);
+  for (int l = 0; l < cfg_.layers; ++l) {
+    layers_.push_back(std::make_unique<EncoderLayer>(cfg_, rng));
+  }
+}
+
+MatrixF Encoder::forward(const MatrixF& x) const {
+  SWAT_EXPECTS(x.cols() == cfg_.d_model);
+  MatrixF h = x;
+  for (const auto& layer : layers_) {
+    h = layer->forward(h);
+  }
+  return h;
+}
+
+std::int64_t Encoder::parameters() const {
+  std::int64_t p = 0;
+  for (const auto& layer : layers_) p += layer->parameters();
+  return p;
+}
+
+Bytes Encoder::last_swat_traffic() const {
+  Bytes total;
+  for (const auto& layer : layers_) {
+    total += layer->attention().last_stats().swat_offchip_traffic;
+  }
+  return total;
+}
+
+}  // namespace swat::model

@@ -1,0 +1,72 @@
+// Transformer encoder stack (post-LN, GELU FFN) with a pluggable attention
+// backend — the host model that SWAT accelerates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/attention_layer.hpp"
+#include "model/layer_norm.hpp"
+#include "model/linear.hpp"
+
+namespace swat::model {
+
+struct EncoderConfig {
+  std::int64_t d_model = 768;
+  std::int64_t num_heads = 12;
+  std::int64_t ffn_mult = 4;
+  int layers = 8;
+  AttentionBackend backend = AttentionBackend::kWindowExact;
+  SwatConfig swat;  ///< attention pattern + datapath parameters
+  std::uint64_t weight_seed = 1;
+
+  /// Longformer-base geometry on the paper's standard SWAT build.
+  static EncoderConfig longformer_base(AttentionBackend backend);
+};
+
+/// One encoder layer: X + MHA -> LN -> + FFN -> LN (post-norm).
+class EncoderLayer {
+ public:
+  EncoderLayer(const EncoderConfig& cfg, Rng& rng);
+
+  MatrixF forward(const MatrixF& x) const;
+
+  const MultiHeadAttention& attention() const { return mha_; }
+  std::int64_t parameters() const;
+
+ private:
+  MultiHeadAttention mha_;
+  LayerNorm norm1_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNorm norm2_;
+};
+
+/// The full stack.
+class Encoder {
+ public:
+  explicit Encoder(EncoderConfig cfg);
+
+  /// Forward over token embeddings X (seq_len x d_model).
+  MatrixF forward(const MatrixF& x) const;
+
+  const EncoderConfig& config() const { return cfg_; }
+  std::int64_t parameters() const;
+  const EncoderLayer& layer(int i) const {
+    SWAT_EXPECTS(i >= 0 && i < static_cast<int>(layers_.size()));
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total SWAT off-chip traffic accumulated over the most recent forward
+  /// (zero for host backends).
+  Bytes last_swat_traffic() const;
+
+ private:
+  EncoderConfig cfg_;
+  std::vector<std::unique_ptr<EncoderLayer>> layers_;
+};
+
+/// GELU activation (tanh approximation), exposed for tests.
+float gelu(float x);
+
+}  // namespace swat::model

@@ -1,0 +1,40 @@
+#include "model/layer_norm.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace swat::model {
+
+LayerNorm::LayerNorm(std::int64_t features, float eps)
+    : gamma_(static_cast<std::size_t>(features), 1.0f),
+      beta_(static_cast<std::size_t>(features), 0.0f), eps_(eps) {
+  SWAT_EXPECTS(features > 0);
+  SWAT_EXPECTS(eps > 0.0f);
+}
+
+MatrixF LayerNorm::forward(const MatrixF& x) const {
+  SWAT_EXPECTS(x.cols() == static_cast<std::int64_t>(gamma_.size()));
+  MatrixF y(x.rows(), x.cols());
+  for (std::int64_t i = 0; i < x.rows(); ++i) {
+    auto in = x.row(i);
+    auto out = y.row(i);
+    double mean = 0.0;
+    for (float v : in) mean += v;
+    mean /= static_cast<double>(in.size());
+    double var = 0.0;
+    for (float v : in) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(in.size());
+    const double inv = 1.0 / std::sqrt(var + eps_);
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      out[j] = static_cast<float>((in[j] - mean) * inv) * gamma_[j] +
+               beta_[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace swat::model

@@ -1,0 +1,29 @@
+// Row-wise layer normalization with learnable affine parameters.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace swat::model {
+
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::int64_t features, float eps = 1e-5f);
+
+  /// Normalize each row of x to zero mean / unit variance, then apply the
+  /// per-feature affine (gamma, beta).
+  MatrixF forward(const MatrixF& x) const;
+
+  std::vector<float>& gamma() { return gamma_; }
+  std::vector<float>& beta() { return beta_; }
+
+  std::int64_t parameters() const {
+    return static_cast<std::int64_t>(gamma_.size() + beta_.size());
+  }
+
+ private:
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  float eps_;
+};
+
+}  // namespace swat::model

@@ -1,0 +1,32 @@
+#include "model/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+
+namespace swat::model {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : weight_(out_features, in_features),
+      bias_(static_cast<std::size_t>(out_features), 0.0f) {
+  SWAT_EXPECTS(in_features > 0 && out_features > 0);
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+  for (float& w : weight_.flat()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+MatrixF Linear::forward(const MatrixF& x) const {
+  SWAT_EXPECTS(x.cols() == in_features());
+  MatrixF y = matmul_nt(x, weight_);
+  for (std::int64_t i = 0; i < y.rows(); ++i) {
+    auto row = y.row(i);
+    for (std::int64_t j = 0; j < y.cols(); ++j) {
+      row[static_cast<std::size_t>(j)] += bias_[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+}  // namespace swat::model

@@ -1,0 +1,42 @@
+// Dense (fully-connected) layer for the host-side transformer model.
+//
+// The model stack exists so the accelerator can be exercised in situ: a
+// real encoder layer produces the Q/K/V tensors SWAT consumes, rather than
+// synthetic ones. Weights are float32 (the host model is the reference;
+// quantization to the accelerator's datapath happens at the attention
+// boundary, exactly as in the paper's system where linear layers run
+// elsewhere).
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace swat::model {
+
+class Linear {
+ public:
+  /// Construct with Xavier/Glorot-uniform weights and zero bias.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  /// Y = X W^T + b for X: batch x in_features.
+  MatrixF forward(const MatrixF& x) const;
+
+  std::int64_t in_features() const { return weight_.cols(); }
+  std::int64_t out_features() const { return weight_.rows(); }
+
+  MatrixF& weight() { return weight_; }
+  const MatrixF& weight() const { return weight_; }
+  std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+  /// Parameter count (weights + biases).
+  std::int64_t parameters() const {
+    return weight_.size() + static_cast<std::int64_t>(bias_.size());
+  }
+
+ private:
+  MatrixF weight_;  // out x in
+  std::vector<float> bias_;
+};
+
+}  // namespace swat::model

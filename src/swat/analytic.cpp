@@ -1,0 +1,53 @@
+#include "swat/analytic.hpp"
+
+namespace swat {
+
+AnalyticModel::AnalyticModel(SwatConfig cfg)
+    : cfg_(std::move(cfg)), pipeline_(make_pipeline(cfg_)) {
+  cfg_.validate();
+}
+
+Cycles AnalyticModel::head_cycles(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  // Symmetric-global rows occupy multiple pipeline slots (chunked passes).
+  return pipeline_.total_cycles(cfg_.row_slots(seq_len));
+}
+
+Seconds AnalyticModel::head_time(std::int64_t seq_len) const {
+  return to_seconds(head_cycles(seq_len), cfg_.clock);
+}
+
+Seconds AnalyticModel::model_time(std::int64_t seq_len, int heads,
+                                  int layers) const {
+  SWAT_EXPECTS(heads >= 1 && layers >= 1);
+  const auto total_heads = static_cast<double>(heads) * layers;
+  const double per_pipeline = total_heads / static_cast<double>(cfg_.pipelines);
+  return head_time(seq_len) * per_pipeline;
+}
+
+Bytes AnalyticModel::head_traffic(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const auto n = static_cast<std::uint64_t>(seq_len);
+  const auto h = static_cast<std::uint64_t>(cfg_.head_dim);
+  const auto b = static_cast<std::uint64_t>(dtype_bytes(cfg_.dtype));
+  // Q, K, V read once each; Z written once; random cores re-read K/V rows
+  // for every query row.
+  const std::uint64_t once = 4 * n * h * b;
+  const std::uint64_t random_rereads =
+      2 * n * static_cast<std::uint64_t>(cfg_.random_cores) * h * b;
+  return Bytes{once + random_rereads};
+}
+
+double AnalyticModel::achieved_gbps(std::int64_t seq_len) const {
+  const double bytes = static_cast<double>(head_traffic(seq_len).count);
+  return bytes / head_time(seq_len).value / 1e9;
+}
+
+Bytes AnalyticModel::onchip_working_set() const {
+  const auto cores = static_cast<std::uint64_t>(cfg_.cores_per_pipeline());
+  const auto h = static_cast<std::uint64_t>(cfg_.head_dim);
+  const auto b = static_cast<std::uint64_t>(dtype_bytes(cfg_.dtype));
+  return Bytes{cores * 2 * h * b * static_cast<std::uint64_t>(cfg_.pipelines)};
+}
+
+}  // namespace swat

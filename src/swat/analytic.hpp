@@ -1,0 +1,54 @@
+// Closed-form performance model of SWAT.
+//
+// Latency: the row pipeline admits one query row per II cycles (201 FP16 /
+// 264 FP32 at H = 64, 2w = 512) after a fixed fill, so one head of length N
+// costs fill + (N-1) * II cycles — the linear scaling of paper Figs. 3/8.
+// "For FPGA implementations ... consistent operation latencies regardless
+// of the concrete values of input data, number of heads, layers, and
+// batches. Total attention time is proportional to the execution time of a
+// single head" (§5.3): multi-head / multi-layer time is the single-head
+// time scaled by head x layer count and divided by the pipeline count.
+//
+// The closed forms here are cross-validated against the cycle-level
+// TimingSimulator over a parameter sweep in tests/test_analytic.
+#pragma once
+
+#include "common/units.hpp"
+#include "swat/config.hpp"
+#include "swat/stage_latency.hpp"
+
+namespace swat {
+
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(SwatConfig cfg);
+
+  const SwatConfig& config() const { return cfg_; }
+
+  /// Cycles for one attention head over `seq_len` query rows.
+  Cycles head_cycles(std::int64_t seq_len) const;
+
+  /// Wall-clock time for one head.
+  Seconds head_time(std::int64_t seq_len) const;
+
+  /// Wall-clock time for a model with `heads` heads per layer and `layers`
+  /// attention layers, using the configured number of parallel pipelines.
+  Seconds model_time(std::int64_t seq_len, int heads, int layers) const;
+
+  /// Off-chip traffic for one head: Q, K, V each read once (plus random-core
+  /// re-reads), Z written once.
+  Bytes head_traffic(std::int64_t seq_len) const;
+
+  /// Achieved off-chip bandwidth while a head streams.
+  double achieved_gbps(std::int64_t seq_len) const;
+
+  /// Peak on-chip memory required for one head's working set (K/V buffers),
+  /// independent of sequence length — the flat memory line of Fig. 3.
+  Bytes onchip_working_set() const;
+
+ private:
+  SwatConfig cfg_;
+  hw::PipelineModel pipeline_;
+};
+
+}  // namespace swat

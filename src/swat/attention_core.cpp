@@ -1,0 +1,46 @@
+#include "swat/attention_core.hpp"
+
+#include <cmath>
+
+namespace swat {
+
+float DtypeOps::exp(float x) const {
+  if (dtype_ == Dtype::kFp32) return std::exp(x);
+  if (exp_lut_segments_ > 0) {
+    return half_exp_lut(Half(x), exp_lut_segments_).to_float();
+  }
+  return half_exp(Half(x)).to_float();
+}
+
+void AttentionCore::load(std::int64_t row, std::span<const float> k,
+                         std::span<const float> v, const DtypeOps& ops) {
+  SWAT_EXPECTS(row >= 0);
+  SWAT_EXPECTS(k.size() == k_.size() && v.size() == v_.size());
+  for (std::size_t d = 0; d < k.size(); ++d) {
+    k_[d] = ops.round(k[d]);
+    v_[d] = ops.round(v[d]);
+  }
+  row_ = row;
+  ++loads_;
+}
+
+float AttentionCore::compute(std::span<const float> q, const DtypeOps& ops,
+                             std::span<float> z_slice) const {
+  SWAT_EXPECTS(valid());
+  SWAT_EXPECTS(q.size() == k_.size());
+  SWAT_EXPECTS(z_slice.size() == v_.size());
+  // QK stage: sequential multiply-accumulate; the HLS MAC rounds the
+  // product and the running sum separately (non-fused).
+  float acc = 0.0f;
+  for (std::size_t d = 0; d < q.size(); ++d) {
+    acc = ops.add(acc, ops.mul(q[d], k_[d]));
+  }
+  // SV stage: exponential, then scale the resident V row.
+  const float s_prime = ops.exp(acc);
+  for (std::size_t d = 0; d < v_.size(); ++d) {
+    z_slice[d] = ops.mul(s_prime, v_[d]);
+  }
+  return s_prime;
+}
+
+}  // namespace swat

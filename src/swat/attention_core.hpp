@@ -1,0 +1,83 @@
+// Attention Core — the paper's "minimal computational unit" (§3.3, Fig. 5):
+// a buffer holding one row of K and one row of V, with the QK dot product,
+// the exp, and the S'V scaling performed locally next to the buffer
+// (input-stationary dataflow).
+//
+// The functional core reproduces the datapath arithmetic exactly for the
+// configured precision: every multiply, add, exp and divide rounds to the
+// datapath format (binary16 for the FP16 build), so the simulator's output
+// is the bit pattern the FPGA would produce, not an idealized float result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/dtype.hpp"
+#include "common/fp16.hpp"
+
+namespace swat {
+
+/// Scalar arithmetic that rounds to the configured datapath precision after
+/// every operation. Values are carried in float (binary32 holds every
+/// binary16 exactly, and is itself the FP32 datapath format).
+class DtypeOps {
+ public:
+  explicit DtypeOps(Dtype dtype, int exp_lut_segments = 0)
+      : dtype_(dtype), exp_lut_segments_(exp_lut_segments) {}
+
+  Dtype dtype() const { return dtype_; }
+
+  float round(float x) const {
+    return dtype_ == Dtype::kFp32 ? x : Half(x).to_float();
+  }
+  float add(float a, float b) const { return round(a + b); }
+  float mul(float a, float b) const { return round(a * b); }
+  float div(float a, float b) const { return round(a / b); }
+  float exp(float x) const;
+
+ private:
+  Dtype dtype_;
+  int exp_lut_segments_;
+};
+
+/// The kind of token a core is wired for (paper Fig. 7).
+enum class CoreKind : std::uint8_t { kWindow, kGlobal, kRandom };
+
+class AttentionCore {
+ public:
+  AttentionCore(std::int64_t head_dim, CoreKind kind)
+      : kind_(kind), k_(static_cast<std::size_t>(head_dim), 0.0f),
+        v_(static_cast<std::size_t>(head_dim), 0.0f) {
+    SWAT_EXPECTS(head_dim > 0);
+  }
+
+  CoreKind kind() const { return kind_; }
+  bool valid() const { return row_ >= 0; }
+  std::int64_t row() const { return row_; }
+  std::int64_t loads() const { return loads_; }
+
+  /// LOAD stage: refresh the K/V buffer with sequence row `row`. Values are
+  /// rounded on write (the buffers store datapath-format words).
+  void load(std::int64_t row, std::span<const float> k,
+            std::span<const float> v, const DtypeOps& ops);
+
+  /// Invalidate the buffer (used at sequence start / config changes).
+  void invalidate() { row_ = -1; }
+
+  /// QK + SV stages for one query row (already datapath-rounded):
+  /// S = Q . K (sequential MAC, rounding per step), S' = exp(S),
+  /// z_slice[d] = S' * V[d]. Returns S'; writes the slice into `z_slice`.
+  float compute(std::span<const float> q, const DtypeOps& ops,
+                std::span<float> z_slice) const;
+
+ private:
+  CoreKind kind_;
+  std::int64_t row_ = -1;
+  std::int64_t loads_ = 0;
+  std::vector<float> k_;
+  std::vector<float> v_;
+};
+
+}  // namespace swat

@@ -1,0 +1,93 @@
+#include "swat/config.hpp"
+
+#include <sstream>
+
+#include "eval/calibration.hpp"
+
+namespace swat {
+
+SwatConfig::SwatConfig() : clock(calib::kSwatClock) {}
+
+SwatConfig SwatConfig::longformer_512(Dtype dtype) {
+  SwatConfig c;
+  c.dtype = dtype;
+  c.head_dim = 64;
+  c.window_cores = 512;
+  return c;
+}
+
+SwatConfig SwatConfig::bigbird_512(Dtype dtype) {
+  SwatConfig c;
+  c.dtype = dtype;
+  c.head_dim = 64;
+  c.window_cores = 192;
+  c.random_cores = 192;
+  c.global_cores = 128;
+  return c;
+}
+
+SwatConfig SwatConfig::bigbird_dual_512() {
+  SwatConfig c = bigbird_512(Dtype::kFp16);
+  c.pipelines = 2;
+  return c;
+}
+
+SwatConfig SwatConfig::causal_512(Dtype dtype) {
+  SwatConfig c = longformer_512(dtype);
+  c.band_split = BandSplit::kCausal;
+  return c;
+}
+
+attn::PatternSpec SwatConfig::pattern_spec(std::int64_t seq_len) const {
+  validate();
+  attn::PatternSpec spec;
+  spec.seq_len = seq_len;
+  spec.window_before = window_before();
+  spec.window_after = window_after();
+  spec.window_dilation = window_dilation;
+  spec.num_global_tokens = std::min(global_cores, seq_len);
+  spec.num_random_tokens = std::min(random_cores, seq_len);
+  spec.random_seed = random_seed;
+  // By default the core array realizes only the attended-by-all direction
+  // of global attention; the two-pass extension restores the symmetric
+  // semantics (see SwatConfig::symmetric_global).
+  spec.symmetric_global = symmetric_global;
+  return spec;
+}
+
+std::int64_t SwatConfig::row_slots(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const std::int64_t ng =
+      symmetric_global ? std::min(global_cores, seq_len) : 0;
+  const std::int64_t cores = cores_per_pipeline();
+  const std::int64_t passes_per_global = (seq_len + cores - 1) / cores;
+  return (seq_len - ng) + ng * passes_per_global;
+}
+
+std::string SwatConfig::summary() const {
+  std::ostringstream os;
+  os << "SWAT[" << dtype_name(dtype) << ", H=" << head_dim << ", cores="
+     << cores_per_pipeline() << " (w:" << window_cores << " g:" << global_cores
+     << " r:" << random_cores << "), pipelines=" << pipelines << ", "
+     << clock.hz / 1e6 << " MHz]";
+  return os.str();
+}
+
+void SwatConfig::validate() const {
+  SWAT_EXPECTS(head_dim > 0);
+  // Every SWAT variant keeps a sliding-window component (it is the basis
+  // pattern of the paper's parameterized design, Fig. 7).
+  SWAT_EXPECTS(window_cores >= 1);
+  SWAT_EXPECTS(global_cores >= 0 && random_cores >= 0);
+  SWAT_EXPECTS(cores_per_pipeline() > 0);
+  SWAT_EXPECTS(pipelines >= 1);
+  SWAT_EXPECTS(clock.hz > 0.0);
+  // Dilation partitions the window cores into equal residue classes.
+  SWAT_EXPECTS(window_dilation >= 1);
+  SWAT_EXPECTS(window_cores % window_dilation == 0);
+  // The reduction tree groups cores by head_dim-sized blocks; the design
+  // (paper §4, Z Reduction) assumes the core count is a multiple of H.
+  SWAT_EXPECTS(cores_per_pipeline() % head_dim == 0);
+}
+
+}  // namespace swat

@@ -1,0 +1,97 @@
+// SWAT accelerator configuration (the design-time parameters of paper
+// Fig. 7): precision, head dimension, and the allocation of attention cores
+// to window / global / random pattern components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attention/mask.hpp"
+#include "common/dtype.hpp"
+#include "common/units.hpp"
+
+namespace swat {
+
+/// How the window band sits around the diagonal.
+enum class BandSplit : std::uint8_t {
+  kCentered,  ///< encoder style: ~half the band before, half after
+  kCausal,    ///< decoder style: the whole band at or before the diagonal
+};
+
+struct SwatConfig {
+  Dtype dtype = Dtype::kFp16;
+  std::int64_t head_dim = 64;      ///< H
+  std::int64_t window_cores = 512; ///< sliding-window attention cores (2w)
+  std::int64_t global_cores = 0;   ///< cores with fixed (pre-loaded) K/V
+  std::int64_t random_cores = 0;   ///< cores re-loaded per row (BigBird)
+  /// Longformer-style window dilation: the band attends every d-th token,
+  /// widening the receptive field d-fold at the same core budget. The core
+  /// array partitions into d residue classes of window_cores/d cores; each
+  /// query row engages exactly its own class (utilization 1/d — the
+  /// documented cost of dilation on this microarchitecture).
+  std::int64_t window_dilation = 1;
+  BandSplit band_split = BandSplit::kCentered;
+  /// Longformer's global attention is symmetric: global tokens are also
+  /// supposed to attend *all* columns. A global query row needs N attended
+  /// columns, which the fixed core array cannot host in one pass; when this
+  /// flag is set the accelerator runs each global row as a chunked
+  /// multi-pass dense row (ceil(N / cores) pipeline slots per global row,
+  /// K/V streamed again per pass) before the sliding pass. Off by default —
+  /// the paper's design computes only the attended-by-all direction.
+  bool symmetric_global = false;
+  int pipelines = 1;               ///< parallel head pipelines (Table 2 row 3)
+  Hertz clock;                     ///< kernel clock (default: calibration)
+  std::uint64_t random_seed = 0x5747u;
+
+  SwatConfig();
+
+  /// Total attention cores per pipeline.
+  std::int64_t cores_per_pipeline() const {
+    return window_cores + global_cores + random_cores;
+  }
+
+  /// The paper's standard Longformer setup: pure window attention,
+  /// 512 cores, FP16.
+  static SwatConfig longformer_512(Dtype dtype = Dtype::kFp16);
+
+  /// The paper's BigBird setup: 192 window + 192 random + 128 global cores.
+  static SwatConfig bigbird_512(Dtype dtype = Dtype::kFp16);
+
+  /// BigBird with two parallel pipelines (Table 2 third row).
+  static SwatConfig bigbird_dual_512();
+
+  /// Decoder-style causal sliding window (Mistral-style local attention):
+  /// each token attends the previous `window_cores` tokens including
+  /// itself.
+  static SwatConfig causal_512(Dtype dtype = Dtype::kFp16);
+
+  /// The sparse pattern this configuration realizes for a given sequence
+  /// length: a band of exactly `window_cores` tokens, plus `global_cores`
+  /// leading global tokens and `random_cores` static random tokens per row.
+  attn::PatternSpec pattern_spec(std::int64_t seq_len) const;
+
+  /// Attended window positions per row (= active window cores per row).
+  std::int64_t window_steps() const { return window_cores / window_dilation; }
+
+  /// Window reach below/above the diagonal for the window component, in
+  /// *dilation steps*: row i attends i + j * dilation for
+  /// j in [-window_before, window_after].
+  std::int64_t window_before() const {
+    const std::int64_t steps = window_steps();
+    return band_split == BandSplit::kCausal ? steps - 1 : steps / 2;
+  }
+  std::int64_t window_after() const {
+    const std::int64_t steps = window_steps();
+    return band_split == BandSplit::kCausal ? 0 : steps - steps / 2 - 1;
+  }
+
+  /// Pipeline row-slots needed for a sequence: one per regular row, plus
+  /// ceil(seq_len / cores) per symmetric-global row (see symmetric_global).
+  std::int64_t row_slots(std::int64_t seq_len) const;
+
+  std::string summary() const;
+
+  void validate() const;
+};
+
+}  // namespace swat

@@ -1,0 +1,43 @@
+#include "swat/decode_sim.hpp"
+
+#include "swat/stage_latency.hpp"
+
+namespace swat {
+
+DecodeSimulator::DecodeSimulator(SwatConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  SWAT_EXPECTS(cfg_.band_split == BandSplit::kCausal);
+  SWAT_EXPECTS(!cfg_.symmetric_global);
+}
+
+DecodeResult DecodeSimulator::run(const attn::HeadInput& in) const {
+  const std::int64_t n = in.seq_len();
+  SWAT_EXPECTS(n > 0);
+
+  DecodeResult res;
+  // Values: identical to the batch causal run — the FIFO state after
+  // pushing rows 0..t equals the decode-time cache at step t, so row t of
+  // the batch simulation *is* the decode output for token t.
+  const FunctionalSimulator sim(cfg_);
+  res.z = sim.run(in).z;
+
+  // Timing: the serial dependency means every token pays the full
+  // longest-path latency (fill), not the steady-state II.
+  const auto pipeline = make_pipeline(cfg_);
+  res.per_token = pipeline.fill_latency();
+  res.total = res.per_token * static_cast<std::uint64_t>(n);
+  res.tokens_per_second =
+      cfg_.clock.hz / static_cast<double>(res.per_token.count);
+
+  // Traffic: only the new token's K and V rows cross HBM; the rest of the
+  // window is BRAM-resident (this is the decode win — a GPU with an
+  // off-chip KV cache re-reads the whole window every step).
+  const std::uint64_t b = dtype_bytes(cfg_.dtype);
+  res.kv_bytes_per_token =
+      Bytes{2 * static_cast<std::uint64_t>(cfg_.head_dim) * b};
+  res.cache_bytes = Bytes{static_cast<std::uint64_t>(cfg_.window_cores) * 2 *
+                          static_cast<std::uint64_t>(cfg_.head_dim) * b};
+  return res;
+}
+
+}  // namespace swat

@@ -1,0 +1,48 @@
+// Autoregressive decode model: SWAT's K/V FIFO as a rolling KV cache.
+//
+// The paper evaluates encoder-style (whole-sequence) attention, but the
+// same microarchitecture serves token-by-token generation with a causal
+// sliding window (Mistral-style local attention): each newly generated
+// token's K/V row is pushed into the FIFO — which *is* the rolling KV
+// cache, resident in BRAM — and one pipeline beat produces the attention
+// output for that token. Unlike the encoder case, consecutive tokens are
+// sequentially dependent (token t+1's Q/K/V exist only after token t is
+// complete), so decode pays the full pipeline fill per token instead of
+// the steady-state II.
+//
+// The functional behaviour is exactly the causal FunctionalSimulator
+// (token t's output equals the batch causal run's row t — tested); what
+// this class adds is the decode-specific timing/traffic analysis.
+#pragma once
+
+#include "attention/reference.hpp"
+#include "swat/config.hpp"
+#include "swat/functional_sim.hpp"
+
+namespace swat {
+
+struct DecodeResult {
+  MatrixF z;                 ///< per-token attention outputs
+  Cycles per_token;          ///< pipeline cycles from Q ready to Z written
+  Cycles total;              ///< per_token x tokens (serial dependency)
+  double tokens_per_second = 0.0;
+  Bytes kv_bytes_per_token;  ///< one K row + one V row (the new token only)
+  Bytes cache_bytes;         ///< on-chip rolling cache footprint
+};
+
+class DecodeSimulator {
+ public:
+  /// The configuration must be causal (a decoder cannot attend forward).
+  explicit DecodeSimulator(SwatConfig cfg);
+
+  /// Decode `in.seq_len()` tokens whose Q/K/V projections are given (the
+  /// projections of the tokens the model would have generated).
+  DecodeResult run(const attn::HeadInput& in) const;
+
+  const SwatConfig& config() const { return cfg_; }
+
+ private:
+  SwatConfig cfg_;
+};
+
+}  // namespace swat

@@ -1,0 +1,216 @@
+#include "swat/functional_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace swat {
+
+FunctionalSimulator::FunctionalSimulator(SwatConfig cfg, FunctionalOptions opt)
+    : cfg_(std::move(cfg)), opt_(opt) {
+  cfg_.validate();
+}
+
+FunctionalResult FunctionalSimulator::run(const attn::HeadInput& in) const {
+  const std::int64_t n = in.seq_len();
+  const std::int64_t h = in.head_dim();
+  SWAT_EXPECTS(h == cfg_.head_dim);
+  SWAT_EXPECTS(n > 0);
+
+  const DtypeOps ops(cfg_.dtype, opt_.exp_lut_segments);
+  const std::uint64_t elem_bytes = dtype_bytes(cfg_.dtype);
+  const std::int64_t ww = cfg_.window_cores;
+  const std::int64_t ng = std::min(cfg_.global_cores, n);
+  const std::int64_t nr = cfg_.random_cores;
+  const std::int64_t total_cores = cfg_.cores_per_pipeline();
+
+  // Physical core array: [0, ww) window, [ww, ww+ng') global, rest random.
+  // (If the sequence is shorter than the global-core count, the surplus
+  // global cores stay invalid.)
+  std::vector<AttentionCore> cores;
+  cores.reserve(static_cast<std::size_t>(total_cores));
+  for (std::int64_t c = 0; c < ww; ++c) {
+    cores.emplace_back(h, CoreKind::kWindow);
+  }
+  for (std::int64_t c = 0; c < cfg_.global_cores; ++c) {
+    cores.emplace_back(h, CoreKind::kGlobal);
+  }
+  for (std::int64_t c = 0; c < nr; ++c) {
+    cores.emplace_back(h, CoreKind::kRandom);
+  }
+
+  FunctionalResult res;
+  res.z = MatrixF(n, h, 0.0f);
+
+  // Pre-load global cores: their K/V buffers are fixed for the whole run
+  // (paper §4.1: "pre-loaded prior to the attention computation").
+  for (std::int64_t g = 0; g < ng; ++g) {
+    cores[static_cast<std::size_t>(ww + g)].load(g, in.k.row(g), in.v.row(g),
+                                                 ops);
+    res.kv_bytes_read += Bytes{2 * static_cast<std::uint64_t>(h) * elem_bytes};
+    ++res.global_core_loads;
+  }
+
+  const attn::AttentionPattern pattern(cfg_.pattern_spec(n));
+
+  std::vector<float> q(static_cast<std::size_t>(h));
+  const auto read_q_row = [&](std::int64_t i) {
+    for (std::int64_t d = 0; d < h; ++d) {
+      q[static_cast<std::size_t>(d)] = ops.round(in.q(i, d));
+    }
+    res.q_bytes_read += Bytes{static_cast<std::uint64_t>(h) * elem_bytes};
+  };
+
+  // ---- Symmetric-global pre-pass (SwatConfig::symmetric_global): each
+  // global row runs as a chunked dense row over all N columns, the core
+  // array re-purposed per pass and K/V streamed again for every pass.
+  const std::int64_t ng_sym = cfg_.symmetric_global ? ng : 0;
+  for (std::int64_t i = 0; i < ng_sym; ++i) {
+    read_q_row(i);
+    std::vector<float> znum(static_cast<std::size_t>(h), 0.0f);
+    float denom = 0.0f;
+    for (std::int64_t base = 0; base < n; base += total_cores) {
+      const std::int64_t chunk_end = std::min(base + total_cores, n);
+      ++res.symmetric_global_passes;
+      res.kv_bytes_read += Bytes{2 * static_cast<std::uint64_t>(h) *
+                                 elem_bytes *
+                                 static_cast<std::uint64_t>(chunk_end - base)};
+      // Same grouped reduction order as the streaming pass.
+      for (std::int64_t gbase = base; gbase < chunk_end; gbase += h) {
+        std::vector<float> gz(static_cast<std::size_t>(h), 0.0f);
+        float gsum = 0.0f;
+        const std::int64_t gend = std::min(gbase + h, chunk_end);
+        for (std::int64_t col = gbase; col < gend; ++col) {
+          float acc = 0.0f;
+          for (std::int64_t d = 0; d < h; ++d) {
+            acc = ops.add(acc, ops.mul(q[static_cast<std::size_t>(d)],
+                                       ops.round(in.k(col, d))));
+          }
+          const float e = ops.exp(acc);
+          gsum = ops.add(gsum, e);
+          for (std::int64_t d = 0; d < h; ++d) {
+            const auto di = static_cast<std::size_t>(d);
+            gz[di] = ops.add(gz[di], ops.mul(e, ops.round(in.v(col, d))));
+          }
+          ++res.attended_pairs;
+        }
+        denom = ops.add(denom, gsum);
+        for (std::int64_t d = 0; d < h; ++d) {
+          const auto di = static_cast<std::size_t>(d);
+          znum[di] = ops.add(znum[di], gz[di]);
+        }
+      }
+    }
+    SWAT_ENSURES(denom > 0.0f);
+    for (std::int64_t d = 0; d < h; ++d) {
+      res.z(i, d) = ops.div(znum[static_cast<std::size_t>(d)], denom);
+    }
+    res.z_bytes_written += Bytes{static_cast<std::uint64_t>(h) * elem_bytes};
+  }
+
+  // Window FIFO state: rows are pushed in sequence order. With dilation 1,
+  // row r lives in window core r % ww while resident — exactly the paper's
+  // "row index modulo the window size" selection (§4 LOAD stage). With
+  // dilation d, the core array splits into d residue classes of ww/d cores
+  // and row r lives in its class's ring slot.
+  const std::int64_t dil = cfg_.window_dilation;
+  const std::int64_t class_cores = ww / dil;
+  const auto window_core_of = [dil, class_cores](std::int64_t row) {
+    return (row % dil) * class_cores + (row / dil) % class_cores;
+  };
+  std::int64_t next_load = 0;
+
+  std::vector<float> sprime(static_cast<std::size_t>(total_cores), 0.0f);
+  std::vector<std::vector<float>> zslice(
+      static_cast<std::size_t>(total_cores),
+      std::vector<float>(static_cast<std::size_t>(h), 0.0f));
+  std::vector<bool> active(static_cast<std::size_t>(total_cores), false);
+
+  for (std::int64_t i = ng_sym; i < n; ++i) {
+    const std::int64_t hi =
+        std::min<std::int64_t>(n - 1, i + cfg_.window_after() * dil);
+
+    // LOAD stage: slide the window FIFO forward. Each sequence row enters a
+    // window core exactly once over the whole run.
+    for (; next_load <= hi; ++next_load) {
+      auto& core = cores[static_cast<std::size_t>(window_core_of(next_load))];
+      if (core.valid()) ++res.fifo_evictions;
+      core.load(next_load, in.k.row(next_load), in.v.row(next_load), ops);
+      res.kv_bytes_read +=
+          Bytes{2 * static_cast<std::uint64_t>(h) * elem_bytes};
+      ++res.window_core_loads;
+    }
+
+    // Fetch and round the Q row (distributed to all cores).
+    read_q_row(i);
+
+    // QK + SV stages on the attended set. The pattern de-duplicates columns
+    // covered by several components; each attended column is computed by
+    // exactly one core (window wins inside the band, then global).
+    std::fill(active.begin(), active.end(), false);
+    std::int64_t next_random_core = ww + cfg_.global_cores;
+    for (const attn::AttendedToken& t : pattern.row(i)) {
+      std::int64_t core_idx = -1;
+      switch (t.component) {
+        case attn::PatternComponent::kWindow:
+          core_idx = window_core_of(t.col);
+          break;
+        case attn::PatternComponent::kGlobal:
+          core_idx = ww + t.col;  // global token g sits in global core g
+          break;
+        case attn::PatternComponent::kRandom: {
+          // Random cores refresh their K/V buffers for every row (§4.1).
+          SWAT_ENSURES(next_random_core < total_cores);
+          core_idx = next_random_core++;
+          auto& core = cores[static_cast<std::size_t>(core_idx)];
+          core.load(t.col, in.k.row(t.col), in.v.row(t.col), ops);
+          res.kv_bytes_read +=
+              Bytes{2 * static_cast<std::uint64_t>(h) * elem_bytes};
+          ++res.random_core_loads;
+          break;
+        }
+      }
+      auto& core = cores[static_cast<std::size_t>(core_idx)];
+      SWAT_ENSURES(core.valid() && core.row() == t.col);
+      const auto ci = static_cast<std::size_t>(core_idx);
+      SWAT_ENSURES(!active[ci]);
+      sprime[ci] = core.compute(q, ops, zslice[ci]);
+      active[ci] = true;
+      ++res.attended_pairs;
+    }
+
+    // Z-reduction and row-sum: accumulate in physical core order, grouped
+    // by H cores (ZRED1/ROWSUM1 within groups, ZRED2/ROWSUM2 across).
+    std::vector<float> znum(static_cast<std::size_t>(h), 0.0f);
+    float denom = 0.0f;
+    for (std::int64_t gbase = 0; gbase < total_cores; gbase += h) {
+      std::vector<float> gz(static_cast<std::size_t>(h), 0.0f);
+      float gsum = 0.0f;
+      const std::int64_t gend = std::min(gbase + h, total_cores);
+      for (std::int64_t c = gbase; c < gend; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (!active[ci]) continue;
+        gsum = ops.add(gsum, sprime[ci]);
+        for (std::int64_t d = 0; d < h; ++d) {
+          const auto di = static_cast<std::size_t>(d);
+          gz[di] = ops.add(gz[di], zslice[ci][di]);
+        }
+      }
+      denom = ops.add(denom, gsum);
+      for (std::int64_t d = 0; d < h; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        znum[di] = ops.add(znum[di], gz[di]);
+      }
+    }
+
+    // DIV & OUT stage.
+    SWAT_ENSURES(denom > 0.0f);
+    for (std::int64_t d = 0; d < h; ++d) {
+      res.z(i, d) = ops.div(znum[static_cast<std::size_t>(d)], denom);
+    }
+    res.z_bytes_written += Bytes{static_cast<std::uint64_t>(h) * elem_bytes};
+  }
+
+  return res;
+}
+
+}  // namespace swat

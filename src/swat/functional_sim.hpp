@@ -1,0 +1,72 @@
+// Functional simulator of the SWAT accelerator.
+//
+// Simulates one attention head through the full microarchitecture of paper
+// Fig. 6 at value level:
+//   * the attention-core array (window / global / random partitions, paper
+//     Fig. 7), with window cores managed by the fixed-length replacement
+//     FIFO of Fig. 4b;
+//   * datapath arithmetic rounded to the configured precision at every step
+//     (see AttentionCore / DtypeOps);
+//   * the two-phase Z-reduction and row-sum trees, accumulating in physical
+//     core order grouped by H — the exact association order of the silicon;
+//   * the fused-division output stage (paper Eq. 1);
+//   * off-chip traffic accounting through an HbmChannel, so the "each datum
+//     loaded exactly once" property is measured, not assumed.
+//
+// Cross-validation (tests/test_functional_sim):
+//   * pure-window FP16 output is *bit-exact* against the independent host
+//     kernel attn::fused_window_attention_fp16;
+//   * output matches the fp32 masked-attention oracle within fp16 tolerance;
+//   * off-chip reads equal one load per used input element.
+#pragma once
+
+#include "attention/reference.hpp"
+#include "hw/hbm.hpp"
+#include "swat/attention_core.hpp"
+#include "swat/config.hpp"
+
+namespace swat {
+
+struct FunctionalOptions {
+  /// Piecewise-linear exp LUT segments; 0 = correctly-rounded exp unit.
+  int exp_lut_segments = 0;
+};
+
+struct FunctionalResult {
+  MatrixF z;  ///< attention output (values exactly representable in dtype)
+
+  // Off-chip traffic (per head).
+  Bytes q_bytes_read;
+  Bytes kv_bytes_read;
+  Bytes z_bytes_written;
+
+  // Buffer behaviour.
+  std::int64_t window_core_loads = 0;  ///< K/V refreshes of window cores
+  std::int64_t global_core_loads = 0;  ///< pre-loads of global cores
+  std::int64_t random_core_loads = 0;  ///< per-row refreshes of random cores
+  std::int64_t fifo_evictions = 0;
+  /// Chunked passes executed for symmetric-global rows (0 unless
+  /// SwatConfig::symmetric_global is set).
+  std::int64_t symmetric_global_passes = 0;
+
+  /// Number of (row, attended-column) pairs actually computed.
+  std::int64_t attended_pairs = 0;
+
+  Bytes total_read() const { return q_bytes_read + kv_bytes_read; }
+};
+
+class FunctionalSimulator {
+ public:
+  explicit FunctionalSimulator(SwatConfig cfg, FunctionalOptions opt = {});
+
+  /// Run one attention head end to end.
+  FunctionalResult run(const attn::HeadInput& in) const;
+
+  const SwatConfig& config() const { return cfg_; }
+
+ private:
+  SwatConfig cfg_;
+  FunctionalOptions opt_;
+};
+
+}  // namespace swat

@@ -1,0 +1,45 @@
+#include "swat/power_model.hpp"
+
+#include "eval/calibration.hpp"
+#include "hw/power.hpp"
+#include "swat/analytic.hpp"
+#include "swat/resource_model.hpp"
+
+namespace swat {
+
+Watts swat_power(const SwatConfig& cfg) {
+  const hw::ResourceVector used = estimate_resources(cfg).total();
+
+  hw::PowerCoefficients coeff;
+  coeff.static_power = Watts{calib::kStaticWatts};
+  coeff.reference_clock = calib::kSwatClock;
+  coeff.dsp_mw = calib::kDspMilliwatts;
+  coeff.lut_mw = calib::kLutMilliwatts;
+  coeff.ff_mw = calib::kFfMilliwatts;
+  coeff.bram_mw = calib::kBramMilliwatts;
+  coeff.hbm_w_per_gbps = calib::kHbmWattsPerGbps;
+
+  hw::Activity act;
+  act.dsp_toggle = calib::kSwatDspToggle;
+  act.lut_toggle = calib::kSwatLutToggle;
+  act.ff_toggle = calib::kSwatFfToggle;
+  act.bram_toggle = calib::kSwatBramToggle;
+  // Streaming bandwidth is sequence-length independent (bytes/row over a
+  // fixed row interval); evaluate at a representative length.
+  act.hbm_gbps = AnalyticModel(cfg).achieved_gbps(4096) *
+                 static_cast<double>(cfg.pipelines);
+
+  return hw::estimate_power(coeff, used, cfg.clock, act);
+}
+
+Joules swat_head_energy(const SwatConfig& cfg, std::int64_t seq_len) {
+  return energy(swat_power(cfg), AnalyticModel(cfg).head_time(seq_len));
+}
+
+Joules swat_model_energy(const SwatConfig& cfg, std::int64_t seq_len,
+                         int heads, int layers) {
+  return energy(swat_power(cfg),
+                AnalyticModel(cfg).model_time(seq_len, heads, layers));
+}
+
+}  // namespace swat

@@ -1,0 +1,25 @@
+// SWAT power/energy model (Xilinx Power Estimator methodology, paper §5.3).
+//
+// Board power = static + per-resource dynamic power at the busy-pipeline
+// toggle rates (eval/calibration.hpp) + HBM interface power for the achieved
+// bandwidth. The resource counts come from the structural resource model
+// (Table 2), so the FP32 build is automatically more power-hungry than FP16
+// and the dual-pipeline build more than the single one.
+#pragma once
+
+#include "common/units.hpp"
+#include "swat/config.hpp"
+
+namespace swat {
+
+/// Average board power while a head streams through the pipeline.
+Watts swat_power(const SwatConfig& cfg);
+
+/// Energy for one attention head of length `seq_len`.
+Joules swat_head_energy(const SwatConfig& cfg, std::int64_t seq_len);
+
+/// Energy for a full model (heads x layers, divided over pipelines).
+Joules swat_model_energy(const SwatConfig& cfg, std::int64_t seq_len,
+                         int heads, int layers);
+
+}  // namespace swat

@@ -1,0 +1,98 @@
+#include "swat/resource_model.hpp"
+
+#include <cmath>
+
+#include "hw/bram.hpp"
+
+namespace swat {
+
+namespace {
+
+/// Per-unit resource characterization (Vitis HLS operator library style).
+struct UnitCosts {
+  // One attention core: QK MAC + EXP + SV multiplier + local control.
+  hw::ResourceVector core_window;
+  hw::ResourceVector core_global;  ///< no FIFO replacement logic
+  hw::ResourceVector core_random;  ///< gather address path, no comparator
+  // One reduction accumulation channel (ZRED1 per core, ZRED2 per H,
+  // ROWSUM per group).
+  hw::ResourceVector red_channel;
+  // One divider (DIV&OUT bank has H of them).
+  hw::ResourceVector divider;
+  // Per-pipeline control, AXI/HBM interface, scheduling counters.
+  hw::ResourceVector control;
+};
+
+UnitCosts costs_for(Dtype dtype) {
+  if (dtype == Dtype::kFp16) {
+    return UnitCosts{
+        .core_window = {.dsp = 3, .lut = 500, .ff = 330, .bram = 1},
+        .core_global = {.dsp = 3, .lut = 250, .ff = 290, .bram = 1},
+        .core_random = {.dsp = 3, .lut = 320, .ff = 330, .bram = 1},
+        .red_channel = {.dsp = 0, .lut = 280, .ff = 140, .bram = 0},
+        .divider = {.dsp = 1, .lut = 750, .ff = 400, .bram = 0},
+        .control = {.dsp = 115, .lut = 30000, .ff = 20000, .bram = 0},
+    };
+  }
+  return UnitCosts{
+      .core_window = {.dsp = 8, .lut = 1024, .ff = 840, .bram = 1},
+      .core_global = {.dsp = 8, .lut = 700, .ff = 780, .bram = 1},
+      .core_random = {.dsp = 8, .lut = 850, .ff = 840, .bram = 1},
+      .red_channel = {.dsp = 0, .lut = 400, .ff = 200, .bram = 0},
+      .divider = {.dsp = 4, .lut = 1400, .ff = 600, .bram = 0},
+      .control = {.dsp = 115, .lut = 30000, .ff = 20000, .bram = 0},
+  };
+}
+
+}  // namespace
+
+ResourceBreakdown estimate_resources(const SwatConfig& cfg) {
+  cfg.validate();
+  const UnitCosts u = costs_for(cfg.dtype);
+  const std::int64_t h = cfg.head_dim;
+  const std::int64_t cores = cfg.cores_per_pipeline();
+  const std::int64_t groups = cores / h;
+
+  // One BRAM block must hold a K row and a V row; verify it does.
+  const std::int64_t kv_bits =
+      2 * h * 8 * static_cast<std::int64_t>(dtype_bytes(cfg.dtype));
+  SWAT_ENSURES(hw::brams_for_buffer(1, kv_bits) == 1);
+
+  ResourceBreakdown b;
+  b.cores = u.core_window * cfg.window_cores +
+            u.core_global * cfg.global_cores +
+            u.core_random * cfg.random_cores;
+  // ZRED1: one channel per core; ZRED2: H channels; ROWSUM1: one channel
+  // per group; ROWSUM2: one channel.
+  b.reduction = u.red_channel * (cores + h + groups + 1);
+  b.dividers = u.divider * h;
+  b.control = u.control;
+
+  const auto p = static_cast<std::int64_t>(cfg.pipelines);
+  b.cores = b.cores * p;
+  b.reduction = b.reduction * p;
+  b.dividers = b.dividers * p;
+  b.control = b.control * p;
+  return b;
+}
+
+TableUtilization table2_utilization(const SwatConfig& cfg) {
+  const hw::ResourceVector used = estimate_resources(cfg).total();
+  const hw::Utilization u = hw::DeviceCatalog::u55c().utilization(used);
+  // The paper's table truncates to whole percent.
+  TableUtilization t;
+  t.dsp_pct = static_cast<int>(u.dsp * 100.0);
+  t.lut_pct = static_cast<int>(u.lut * 100.0);
+  t.ff_pct = static_cast<int>(u.ff * 100.0);
+  t.bram_pct = static_cast<int>(u.bram * 100.0);
+  return t;
+}
+
+TableUtilization butterfly_published_utilization() {
+  // Table 2, "Butterfly (FP16, 120-BE)" row, as published in [Fan et al.,
+  // MICRO-55] and quoted by the SWAT paper.
+  return TableUtilization{.dsp_pct = 32, .lut_pct = 79, .ff_pct = 63,
+                          .bram_pct = 49};
+}
+
+}  // namespace swat

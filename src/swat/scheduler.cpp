@@ -1,0 +1,90 @@
+#include "swat/scheduler.hpp"
+
+#include "swat/stage_latency.hpp"
+
+namespace swat {
+
+HeadScheduler::HeadScheduler(SwatConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  const auto pipeline = make_pipeline(cfg_);
+  fill_ = pipeline.fill_latency();
+  ii_ = pipeline.row_initiation_interval();
+}
+
+Cycles HeadScheduler::pipeline_cycles(std::int64_t k, std::int64_t seq_len,
+                                      HeadScheduling mode) const {
+  SWAT_EXPECTS(k >= 0 && seq_len > 0);
+  if (k == 0) return Cycles{0};
+  const auto n = static_cast<std::uint64_t>(seq_len);
+  const auto kk = static_cast<std::uint64_t>(k);
+  if (mode == HeadScheduling::kSerialDrain) {
+    // Each head: fill + (n-1) * II, then the pipeline drains.
+    return Cycles{kk * (fill_.count + (n - 1) * ii_.count)};
+  }
+  // Back-to-back: rows of consecutive heads stream without a bubble.
+  return Cycles{fill_.count + (kk * n - 1) * ii_.count};
+}
+
+ScheduleResult HeadScheduler::schedule(const Workload& w,
+                                       HeadScheduling mode) const {
+  SWAT_EXPECTS(w.seq_len > 0);
+  SWAT_EXPECTS(w.heads >= 1 && w.layers >= 1 && w.batch >= 1);
+
+  const int p = cfg_.pipelines;
+  ScheduleResult res;
+  res.pipelines.resize(static_cast<std::size_t>(p));
+
+  // Round-robin assignment: head index h goes to pipeline h % p. All heads
+  // cost the same, so this is makespan-optimal.
+  std::vector<std::int64_t> count(static_cast<std::size_t>(p), 0);
+  std::int64_t h = 0;
+  for (int b = 0; b < w.batch; ++b) {
+    for (int l = 0; l < w.layers; ++l) {
+      for (int head = 0; head < w.heads; ++head, ++h) {
+        const auto pipe = static_cast<std::size_t>(h % p);
+        const std::int64_t slot_idx = count[pipe]++;
+        HeadSlot slot;
+        slot.layer = l;
+        slot.head = head;
+        slot.batch = b;
+        // Timing of the k-th head on a pipeline.
+        const auto n = static_cast<std::uint64_t>(w.seq_len);
+        if (mode == HeadScheduling::kSerialDrain) {
+          const std::uint64_t per = fill_.count + (n - 1) * ii_.count;
+          slot.start = Cycles{static_cast<std::uint64_t>(slot_idx) * per};
+          slot.end = Cycles{slot.start.count + per};
+        } else {
+          slot.start =
+              Cycles{static_cast<std::uint64_t>(slot_idx) * n * ii_.count};
+          slot.end = Cycles{fill_.count +
+                            ((static_cast<std::uint64_t>(slot_idx) + 1) * n -
+                             1) *
+                                ii_.count};
+        }
+        res.pipelines[pipe].slots.push_back(slot);
+      }
+    }
+  }
+
+  res.makespan = Cycles{0};
+  double util_sum = 0.0;
+  int active = 0;
+  for (std::size_t pipe = 0; pipe < res.pipelines.size(); ++pipe) {
+    auto& tl = res.pipelines[pipe];
+    tl.finish = pipeline_cycles(count[pipe], w.seq_len, mode);
+    SWAT_ENSURES(tl.slots.empty() || tl.finish == tl.slots.back().end);
+    res.makespan = std::max(res.makespan, tl.finish);
+    if (count[pipe] > 0) {
+      ++active;
+      // The QK stage is busy II cycles per row.
+      const double busy = static_cast<double>(count[pipe]) *
+                          static_cast<double>(w.seq_len) *
+                          static_cast<double>(ii_.count);
+      util_sum += busy / static_cast<double>(res.makespan.count);
+    }
+  }
+  res.bottleneck_utilization = active > 0 ? util_sum / active : 0.0;
+  return res;
+}
+
+}  // namespace swat

@@ -1,0 +1,82 @@
+// Head scheduler: maps a whole transformer attention workload (layers x
+// heads x batch) onto SWAT's parallel pipelines.
+//
+// The paper exploits that FPGA latencies are data-independent: "Total
+// attention time is proportional to the execution time of a single head"
+// (§5.3). The scheduler makes that concrete, and models one refinement the
+// hardware gets for free: because the row pipeline's stages are independent
+// of *which* head a row belongs to, consecutive heads can stream
+// back-to-back without draining the pipeline between them — the fill
+// latency is paid once per pipeline, not once per head.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "swat/config.hpp"
+
+namespace swat {
+
+struct Workload {
+  std::int64_t seq_len = 0;
+  int heads = 12;
+  int layers = 8;
+  int batch = 1;
+
+  std::int64_t total_heads() const {
+    return static_cast<std::int64_t>(heads) * layers * batch;
+  }
+};
+
+enum class HeadScheduling {
+  kSerialDrain,  ///< drain the pipeline after every head (fill per head)
+  kBackToBack,   ///< stream heads continuously (fill once per pipeline)
+};
+
+/// One head's residency on a pipeline.
+struct HeadSlot {
+  int layer = 0;
+  int head = 0;
+  int batch = 0;
+  Cycles start;  ///< cycle its first row enters the pipeline
+  Cycles end;    ///< cycle its last row leaves
+};
+
+struct PipelineTimeline {
+  std::vector<HeadSlot> slots;
+  Cycles finish;  ///< completion cycle of the pipeline's last head
+};
+
+struct ScheduleResult {
+  std::vector<PipelineTimeline> pipelines;
+  Cycles makespan;  ///< max pipeline finish time
+  /// Fraction of makespan cycles during which the QK stage (the pipeline
+  /// bottleneck) is doing useful work, averaged over pipelines.
+  double bottleneck_utilization = 0.0;
+
+  Seconds wall_time(Hertz clock) const { return to_seconds(makespan, clock); }
+};
+
+class HeadScheduler {
+ public:
+  explicit HeadScheduler(SwatConfig cfg);
+
+  /// Distribute the workload's heads over the configured pipelines
+  /// (balanced round-robin; all heads are identical in cost, so round-robin
+  /// is optimal) and compute the timeline.
+  ScheduleResult schedule(const Workload& w, HeadScheduling mode) const;
+
+  /// Cycles one pipeline needs for `k` heads under `mode`.
+  Cycles pipeline_cycles(std::int64_t k, std::int64_t seq_len,
+                         HeadScheduling mode) const;
+
+  const SwatConfig& config() const { return cfg_; }
+
+ private:
+  SwatConfig cfg_;
+  Cycles fill_;
+  Cycles ii_;
+};
+
+}  // namespace swat

@@ -1,0 +1,58 @@
+#include "swat/stage_latency.hpp"
+
+#include <algorithm>
+
+#include "eval/calibration.hpp"
+
+namespace swat {
+
+StageLatencies stage_latencies(const SwatConfig& cfg) {
+  cfg.validate();
+  const auto h = static_cast<std::uint64_t>(cfg.head_dim);
+  const std::uint64_t ii = mac_initiation_interval(cfg.dtype);
+  const std::uint64_t groups =
+      static_cast<std::uint64_t>(cfg.cores_per_pipeline()) / h;
+
+  StageLatencies s;
+  // LOAD: window cores stream the next K/V row in order (burst, II = 1);
+  // random cores gather scattered rows at II = 3 (paper §4.1: 66 -> 195).
+  const Cycles load_window{h + calib::kLoadDepth};
+  const Cycles load_random{3 * h + calib::kLoadRandomDepth};
+  s.load = cfg.random_cores > 0 ? std::max(load_window, load_random)
+                                : load_window;
+
+  const std::uint64_t qk_depth = cfg.dtype == Dtype::kFp16
+                                     ? calib::kQkDepthFp16
+                                     : calib::kQkDepthFp32;
+  s.qk = Cycles{ii * h + qk_depth};
+  s.sv = Cycles{ii * h + calib::kSvDepth};
+  s.zred1 = Cycles{ii * h + calib::kRedDepth};
+  s.zred2 = Cycles{h + calib::kZred2Depth};
+  s.rowsum1 = Cycles{ii * h + calib::kRedDepth};
+  s.rowsum2 = Cycles{ii * groups + calib::kRedDepth};
+  s.div_out = Cycles{calib::kDivInitiationInterval * h + calib::kDivDepth};
+  return s;
+}
+
+hw::PipelineModel make_pipeline(const SwatConfig& cfg) {
+  const StageLatencies s = stage_latencies(cfg);
+  // Z-reduction (ZRED1 -> ZRED2) and row-sum (ROWSUM1 -> ROWSUM2) proceed
+  // in parallel between SV and DIV&OUT; model each parallel pair depth by
+  // depth (group 0: ZRED1 || ROWSUM1, group 1: ZRED2 || ROWSUM2).
+  return hw::PipelineModel({
+      {"LOAD", s.load, -1},
+      {"QK", s.qk, -1},
+      {"SV", s.sv, -1},
+      {"ZRED1", s.zred1, 0},
+      {"ROWSUM1", s.rowsum1, 0},
+      {"ZRED2", s.zred2, 1},
+      {"ROWSUM2", s.rowsum2, 1},
+      {"DIV&OUT", s.div_out, -1},
+  });
+}
+
+Cycles row_interval(const SwatConfig& cfg) {
+  return make_pipeline(cfg).row_initiation_interval();
+}
+
+}  // namespace swat

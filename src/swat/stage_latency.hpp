@@ -1,0 +1,51 @@
+// Stage-latency model of the SWAT pipeline (reproduces paper Table 1).
+//
+// Each stage's latency has the HLS form II * trip_count + depth:
+//
+//   LOAD     : one K/V buffer refresh (H elements streamed) + Q broadcast;
+//              window cores refresh sequentially from the HBM stream
+//              (H + 2 cycles); random-attention cores gather from scattered
+//              addresses at II = 3 (3H + 3 = 195 cycles, §4.1).
+//   QK       : H-element MAC at II = 3 (FP16) / 4 (FP32) -> 201 / 264.
+//   SV       : exp + H-element vector scale at the MAC II     -> 197.
+//   ZRED1    : within each group of H cores, H accumulation channels sum
+//              H slices at II = 3                              -> 195.
+//   ZRED2    : stream the H output elements through the group adder tree
+//                                                              -> 66.
+//   ROWSUM1  : per-group scalar accumulation of H S' values    -> 195.
+//   ROWSUM2  : accumulate the (cores/H) group sums at II = 3   -> 27.
+//   DIV&OUT  : H divisions at II = 2 plus divider depth        -> 179.
+//
+// The row pipeline II is the max stage latency: 201 (FP16) / 264 (FP32).
+#pragma once
+
+#include "common/dtype.hpp"
+#include "common/units.hpp"
+#include "hw/pipeline.hpp"
+#include "swat/config.hpp"
+
+namespace swat {
+
+struct StageLatencies {
+  Cycles load;      ///< effective LOAD latency for this configuration
+  Cycles qk;
+  Cycles sv;
+  Cycles zred1;
+  Cycles zred2;
+  Cycles rowsum1;
+  Cycles rowsum2;
+  Cycles div_out;
+};
+
+/// Compute the per-stage latencies for a configuration.
+StageLatencies stage_latencies(const SwatConfig& cfg);
+
+/// Assemble the pipeline DAG (Z-reduction and row-sum run in parallel,
+/// paper Fig. 6) for closed-form II / fill-latency queries.
+hw::PipelineModel make_pipeline(const SwatConfig& cfg);
+
+/// Row initiation interval of the full pipeline: 201 cycles for the default
+/// FP16 design, 264 for FP32 (paper Table 1 / §5.4).
+Cycles row_interval(const SwatConfig& cfg);
+
+}  // namespace swat

@@ -1,0 +1,93 @@
+#include "swat/timing_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swat {
+
+TimingSimulator::TimingSimulator(SwatConfig cfg, hw::HbmSpec hbm)
+    : cfg_(std::move(cfg)), hbm_(hbm) {
+  cfg_.validate();
+}
+
+TimingResult TimingSimulator::run(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len > 0);
+  const StageLatencies lat = stage_latencies(cfg_);
+
+  // Linear stage chain with the two reduction branches joined before the
+  // divider: LOAD -> QK -> SV -> {ZRED1->ZRED2 || ROWSUM1->ROWSUM2} -> DIV.
+  struct Stage {
+    std::string name;
+    std::uint64_t latency;
+    std::uint64_t free_at = 0;   // cycle when the stage can accept a new row
+    std::uint64_t busy = 0;
+  };
+  std::vector<Stage> stages = {
+      {"LOAD", lat.load.count},       {"QK", lat.qk.count},
+      {"SV", lat.sv.count},           {"ZRED1", lat.zred1.count},
+      {"ZRED2", lat.zred2.count},     {"ROWSUM1", lat.rowsum1.count},
+      {"ROWSUM2", lat.rowsum2.count}, {"DIV&OUT", lat.div_out.count},
+  };
+  constexpr std::size_t kLoad = 0, kQk = 1, kSv = 2, kZred1 = 3, kZred2 = 4,
+                        kRowsum1 = 5, kRowsum2 = 6, kDiv = 7;
+
+  // HBM delivery model: each row's LOAD consumes one K row + one V row
+  // (+ the Q row) from memory; the channel streams bytes at full bandwidth.
+  const double bytes_per_row =
+      3.0 * static_cast<double>(cfg_.head_dim) *
+          static_cast<double>(dtype_bytes(cfg_.dtype)) +
+      2.0 * static_cast<double>(cfg_.head_dim) *
+          static_cast<double>(dtype_bytes(cfg_.dtype)) *
+          static_cast<double>(cfg_.random_cores);
+  const double cycles_per_byte =
+      cfg_.clock.hz / (hbm_.bandwidth_gbps * 1e9);
+  const double hbm_cycles_per_row = bytes_per_row * cycles_per_byte;
+
+  TimingResult res;
+  res.rows = cfg_.row_slots(seq_len);
+  double hbm_ready = 0.0;  // cycle when the memory data for a row is ready
+  std::uint64_t first_done = 0;
+  std::uint64_t prev_done = 0;
+  std::uint64_t last_interval = 0;
+
+  auto occupy = [&stages](std::size_t s, std::uint64_t earliest)
+      -> std::uint64_t {
+    Stage& st = stages[s];
+    const std::uint64_t start = std::max(earliest, st.free_at);
+    st.free_at = start + st.latency;
+    st.busy += st.latency;
+    return st.free_at;  // completion cycle of this row in this stage
+  };
+
+  for (std::int64_t r = 0; r < res.rows; ++r) {
+    // The LOAD stage consumes the row's K/V/Q data as it streams in, so a
+    // row may start loading once all *earlier* rows' data has drained.
+    const auto mem_ready = static_cast<std::uint64_t>(std::ceil(hbm_ready));
+    hbm_ready += hbm_cycles_per_row;
+    if (mem_ready > stages[kLoad].free_at) res.hbm_limited = true;
+
+    const std::uint64_t t_load = occupy(kLoad, mem_ready);
+    const std::uint64_t t_qk = occupy(kQk, t_load);
+    const std::uint64_t t_sv = occupy(kSv, t_qk);
+    const std::uint64_t t_zred1 = occupy(kZred1, t_sv);
+    const std::uint64_t t_zred2 = occupy(kZred2, t_zred1);
+    const std::uint64_t t_rowsum1 = occupy(kRowsum1, t_sv);
+    const std::uint64_t t_rowsum2 = occupy(kRowsum2, t_rowsum1);
+    const std::uint64_t t_div = occupy(kDiv, std::max(t_zred2, t_rowsum2));
+
+    if (r == 0) first_done = t_div;
+    if (r > 0) last_interval = t_div - prev_done;
+    prev_done = t_div;
+  }
+
+  res.total = Cycles{prev_done};
+  res.fill = Cycles{first_done};
+  res.row_interval = Cycles{seq_len > 1 ? last_interval : first_done};
+  for (const Stage& s : stages) {
+    res.stage_names.push_back(s.name);
+    res.stage_busy.push_back(Cycles{s.busy});
+  }
+  return res;
+}
+
+}  // namespace swat

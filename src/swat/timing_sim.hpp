@@ -1,0 +1,60 @@
+// Cycle-level timing simulator of the SWAT pipeline.
+//
+// Advances the coarse-grained row pipeline (paper Fig. 6) transaction by
+// transaction: row r occupies stage s for that stage's latency; a stage
+// accepts row r only after it released row r-1 and after row r finished the
+// upstream stage (parallel reduction branches join before DIV&OUT). This is
+// the same level of abstraction at which the paper's own latency numbers
+// are produced (HLS report stage latencies), and it is cross-validated
+// against the closed-form AnalyticModel in the tests.
+//
+// The simulator also checks the LOAD stage against HBM bandwidth: a row's
+// LOAD cannot start before the memory system has delivered its K/V/Q data.
+// At SWAT's per-row traffic (~3 rows x H elements per 201 cycles) HBM is
+// never the bottleneck — asserted, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/hbm.hpp"
+#include "swat/config.hpp"
+#include "swat/stage_latency.hpp"
+
+namespace swat {
+
+struct TimingResult {
+  Cycles total;                 ///< cycles to drain the whole sequence
+  Cycles row_interval;          ///< measured steady-state II between rows
+  Cycles fill;                  ///< cycles until the first row completes
+  std::vector<std::string> stage_names;
+  std::vector<Cycles> stage_busy;  ///< total busy cycles per stage
+  std::int64_t rows = 0;
+  bool hbm_limited = false;     ///< true if any LOAD waited on memory
+
+  Seconds wall_time(Hertz clock) const { return to_seconds(total, clock); }
+
+  /// Utilization of stage s: busy cycles / total cycles.
+  double utilization(std::size_t s) const {
+    SWAT_EXPECTS(s < stage_busy.size());
+    return static_cast<double>(stage_busy[s].count) /
+           static_cast<double>(total.count);
+  }
+};
+
+class TimingSimulator {
+ public:
+  explicit TimingSimulator(SwatConfig cfg, hw::HbmSpec hbm = {});
+
+  /// Simulate one head over `seq_len` rows.
+  TimingResult run(std::int64_t seq_len) const;
+
+  const SwatConfig& config() const { return cfg_; }
+
+ private:
+  SwatConfig cfg_;
+  hw::HbmSpec hbm_;
+};
+
+}  // namespace swat

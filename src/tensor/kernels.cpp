@@ -1,0 +1,130 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace swat {
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.cols() == b.rows());
+  MatrixF c(a.rows(), b.cols());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::int64_t j = 0; j < b.cols(); ++j) {
+        crow[static_cast<std::size_t>(j)] +=
+            aik * brow[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return c;
+}
+
+MatrixF matmul_nt(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.cols() == b.cols());
+  MatrixF c(a.rows(), b.rows());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.rows(); ++j) {
+      c(i, j) = dot(a.row(i), b.row(j));
+    }
+  }
+  return c;
+}
+
+MatrixF transpose(const MatrixF& a) {
+  MatrixF t(a.cols(), a.rows());
+  for (std::int64_t i = 0; i < a.rows(); ++i)
+    for (std::int64_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+void row_softmax_stable(MatrixF& m) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    const float mx = *std::max_element(r.begin(), r.end());
+    float sum = 0.0f;
+    for (float& v : r) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    SWAT_ENSURES(sum > 0.0f);
+    for (float& v : r) v /= sum;
+  }
+}
+
+void row_softmax_naive(MatrixF& m) {
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    float sum = 0.0f;
+    for (float& v : r) {
+      v = std::exp(v);
+      sum += v;
+    }
+    SWAT_ENSURES(sum > 0.0f);
+    for (float& v : r) v /= sum;
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  SWAT_EXPECTS(a.size() == b.size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  SWAT_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+float max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  float mx = 0.0f;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    mx = std::max(mx, std::abs(fa[i] - fb[i]));
+  }
+  return mx;
+}
+
+double relative_error(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double num = 0.0;
+  double den = 0.0;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = static_cast<double>(fa[i]) - fb[i];
+    num += d * d;
+    den += static_cast<double>(fb[i]) * fb[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(num / den);
+}
+
+double mean_row_cosine(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  std::int64_t counted = 0;
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    auto ra = a.row(i);
+    auto rb = b.row(i);
+    double ab = 0.0, aa = 0.0, bb = 0.0;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      ab += static_cast<double>(ra[j]) * rb[j];
+      aa += static_cast<double>(ra[j]) * ra[j];
+      bb += static_cast<double>(rb[j]) * rb[j];
+    }
+    if (aa == 0.0 || bb == 0.0) continue;
+    acc += ab / std::sqrt(aa * bb);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / static_cast<double>(counted);
+}
+
+}  // namespace swat

@@ -1,0 +1,47 @@
+// Host-side dense linear-algebra kernels used by the reference attention
+// implementations and the baseline models. Deliberately simple and obviously
+// correct: these are the oracles the hardware models are validated against.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace swat {
+
+/// C = A * B  (A: m x k, B: k x n).
+MatrixF matmul(const MatrixF& a, const MatrixF& b);
+
+/// C = A * B^T (A: m x k, B: n x k). Attention computes S = Q * K^T; keeping
+/// the transpose inside the kernel avoids materializing K^T.
+MatrixF matmul_nt(const MatrixF& a, const MatrixF& b);
+
+MatrixF transpose(const MatrixF& a);
+
+/// Numerically-stable row softmax: subtracts the row max before
+/// exponentiation. This is the reference semantics for all accuracy
+/// comparisons.
+void row_softmax_stable(MatrixF& m);
+
+/// "Naive" row softmax exactly as written in the paper's Eq. 1: exp without
+/// max subtraction, then divide by the row sum of exponentials. SWAT's fused
+/// datapath implements this form; keeping both lets the tests quantify when
+/// the two diverge (large positive scores overflow fp16 exp).
+void row_softmax_naive(MatrixF& m);
+
+/// Dot product of two equal-length spans in float.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Max absolute difference between two same-shaped matrices.
+float max_abs_diff(const MatrixF& a, const MatrixF& b);
+
+/// Frobenius-norm relative error ||a-b||_F / ||b||_F (b is the reference).
+double relative_error(const MatrixF& a, const MatrixF& b);
+
+/// Mean cosine similarity between corresponding rows of a and b.
+double mean_row_cosine(const MatrixF& a, const MatrixF& b);
+
+}  // namespace swat

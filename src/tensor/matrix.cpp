@@ -1,0 +1,66 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace swat {
+
+MatrixF random_normal(std::int64_t rows, std::int64_t cols, Rng& rng,
+                      double stddev) {
+  MatrixF m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
+  return m;
+}
+
+MatrixF random_locally_correlated_1d(std::int64_t rows, std::int64_t cols,
+                                     Rng& rng, double corr_len) {
+  SWAT_EXPECTS(corr_len > 0.0);
+  // AR(1) process down the row (token) axis: x_i = rho * x_{i-1} + e_i,
+  // giving corr(x_i, x_j) = rho^{|i-j|} = exp(-|i-j| / corr_len).
+  const double rho = std::exp(-1.0 / corr_len);
+  const double noise = std::sqrt(1.0 - rho * rho);
+  MatrixF m(rows, cols);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    double x = rng.normal();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      if (r > 0) x = rho * x + noise * rng.normal();
+      m(r, c) = static_cast<float>(x);
+    }
+  }
+  return m;
+}
+
+MatrixF random_locally_correlated_2d(std::int64_t rows, std::int64_t cols,
+                                     Rng& rng, double corr_len) {
+  const auto side = static_cast<std::int64_t>(std::llround(
+      std::sqrt(static_cast<double>(rows))));
+  SWAT_EXPECTS(side * side == rows);
+  SWAT_EXPECTS(corr_len > 0.0);
+  // Separable 2-D AR(1): generate iid noise on the grid, then run one AR
+  // sweep along grid rows and one along grid columns. Tokens are the
+  // row-major flattening of the grid, matching how ViT-style models
+  // sequence image patches.
+  const double rho = std::exp(-1.0 / corr_len);
+  const double noise = std::sqrt(1.0 - rho * rho);
+  MatrixF m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+  for (std::int64_t c = 0; c < cols; ++c) {
+    // Horizontal sweep within each grid row.
+    for (std::int64_t gr = 0; gr < side; ++gr) {
+      for (std::int64_t gc = 1; gc < side; ++gc) {
+        const std::int64_t i = gr * side + gc;
+        m(i, c) = static_cast<float>(rho * m(i - 1, c) + noise * m(i, c));
+      }
+    }
+    // Vertical sweep across grid rows.
+    for (std::int64_t gc = 0; gc < side; ++gc) {
+      for (std::int64_t gr = 1; gr < side; ++gr) {
+        const std::int64_t i = gr * side + gc;
+        m(i, c) =
+            static_cast<float>(rho * m(i - side, c) + noise * m(i, c));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace swat

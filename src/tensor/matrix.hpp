@@ -1,0 +1,90 @@
+// Minimal dense row-major matrix used throughout the functional models.
+//
+// Design notes (per the C++ Core Guidelines):
+//  - Concrete regular value type (C.10/C.11): copyable, movable, comparable.
+//  - Bounds are checked via contracts on every accessor; the simulator code
+//    is index-heavy and an out-of-window index is the most likely bug class.
+//  - Rows are exposed as std::span (I.13 "do not pass an array as a single
+//    pointer"), which is what the attention kernels iterate over.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace swat {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  Matrix(std::int64_t rows, std::int64_t cols, T fill = T{})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {
+    SWAT_EXPECTS(rows >= 0 && cols >= 0);
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::int64_t r, std::int64_t c) {
+    SWAT_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& operator()(std::int64_t r, std::int64_t c) const {
+    SWAT_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  std::span<T> row(std::int64_t r) {
+    SWAT_EXPECTS(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const T> row(std::int64_t r) const {
+    SWAT_EXPECTS(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+/// Fill with iid normal(0, stddev) values; the standard synthetic stand-in
+/// for Q/K/V projections of token embeddings.
+MatrixF random_normal(std::int64_t rows, std::int64_t cols, Rng& rng,
+                      double stddev = 1.0);
+
+/// Fill with values whose covariance decays with 1-D index distance
+/// (corr ~ exp(-|i-j|/corr_len) across rows). Models "text-like" token
+/// streams where local context dominates — the regime window attention is
+/// designed for (paper §2.2 cites the impact of local context).
+MatrixF random_locally_correlated_1d(std::int64_t rows, std::int64_t cols,
+                                     Rng& rng, double corr_len);
+
+/// Fill with values correlated over a 2-D grid of side sqrt(rows)
+/// (image-like structure for the vision tasks in paper Tables 3/4; rows must
+/// be a perfect square).
+MatrixF random_locally_correlated_2d(std::int64_t rows, std::int64_t cols,
+                                     Rng& rng, double corr_len);
+
+}  // namespace swat

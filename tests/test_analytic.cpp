@@ -1,0 +1,75 @@
+// Tests for the closed-form performance model.
+#include <gtest/gtest.h>
+
+#include "swat/analytic.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Analytic, HeadCyclesClosedForm) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  EXPECT_EQ(m.head_cycles(1).count, 904u);
+  EXPECT_EQ(m.head_cycles(2).count, 904u + 201u);
+  EXPECT_EQ(m.head_cycles(16384).count, 904u + 16383u * 201u);
+}
+
+TEST(Analytic, HeadTimeAt300MHz) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  EXPECT_NEAR(m.head_time(16384).milliseconds(), 10.98, 0.05);
+  const AnalyticModel m32(SwatConfig::longformer_512(Dtype::kFp32));
+  EXPECT_NEAR(m32.head_time(16384).milliseconds(), 14.42, 0.05);
+}
+
+TEST(Analytic, ModelTimeScalesWithHeadsAndLayers) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  const Seconds one = m.model_time(1024, 1, 1);
+  EXPECT_DOUBLE_EQ(m.model_time(1024, 12, 1).value, 12.0 * one.value);
+  EXPECT_DOUBLE_EQ(m.model_time(1024, 12, 8).value, 96.0 * one.value);
+  EXPECT_DOUBLE_EQ(one.value, m.head_time(1024).value);
+}
+
+TEST(Analytic, DualPipelineHalvesModelTime) {
+  const AnalyticModel single(SwatConfig::bigbird_512());
+  const AnalyticModel dual(SwatConfig::bigbird_dual_512());
+  EXPECT_NEAR(dual.model_time(2048, 12, 8).value,
+              single.model_time(2048, 12, 8).value / 2.0, 1e-12);
+}
+
+TEST(Analytic, TrafficIsLinearAndExactlyOnce) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  // 4 streams (Q, K, V, Z) x n x H x 2 bytes.
+  EXPECT_EQ(m.head_traffic(4096).count,
+            4ull * 4096ull * 64ull * 2ull);
+  EXPECT_EQ(m.head_traffic(8192).count, 2 * m.head_traffic(4096).count);
+}
+
+TEST(Analytic, RandomCoresAddRereadTraffic) {
+  const AnalyticModel bigbird(SwatConfig::bigbird_512());
+  const AnalyticModel window(SwatConfig::longformer_512());
+  EXPECT_GT(bigbird.head_traffic(4096).count,
+            window.head_traffic(4096).count);
+}
+
+TEST(Analytic, AchievedBandwidthFarBelowHbm) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  // ~0.76 GB/s per head pipeline vs 460 GB/s available.
+  EXPECT_LT(m.achieved_gbps(8192), 5.0);
+  EXPECT_GT(m.achieved_gbps(8192), 0.1);
+}
+
+TEST(Analytic, OnchipWorkingSetIndependentOfSequenceLength) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  // 512 cores x (K+V) x 64 x 2B = 128 KiB.
+  EXPECT_EQ(m.onchip_working_set().count, 512ull * 2 * 64 * 2);
+  const AnalyticModel dual(SwatConfig::bigbird_dual_512());
+  EXPECT_EQ(dual.onchip_working_set().count, 2ull * 512 * 2 * 64 * 2);
+}
+
+TEST(Analytic, InputValidation) {
+  const AnalyticModel m(SwatConfig::longformer_512());
+  EXPECT_THROW(m.head_cycles(0), std::invalid_argument);
+  EXPECT_THROW(m.model_time(128, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,159 @@
+// Unit tests for the attention core datapath and DtypeOps rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "swat/attention_core.hpp"
+
+namespace swat {
+namespace {
+
+TEST(DtypeOps, Fp32IsExactFloat) {
+  const DtypeOps ops(Dtype::kFp32);
+  EXPECT_FLOAT_EQ(ops.round(0.1f), 0.1f);
+  EXPECT_FLOAT_EQ(ops.add(2048.0f, 1.0f), 2049.0f);
+  EXPECT_FLOAT_EQ(ops.mul(3.0f, 7.0f), 21.0f);
+  EXPECT_FLOAT_EQ(ops.div(1.0f, 3.0f), 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(ops.exp(1.0f), std::exp(1.0f));
+}
+
+TEST(DtypeOps, Fp16RoundsEveryOperation) {
+  const DtypeOps ops(Dtype::kFp16);
+  // 0.1 is not representable in binary16.
+  EXPECT_EQ(ops.round(0.1f), Half(0.1f).to_float());
+  EXPECT_NE(ops.round(0.1f), 0.1f);
+  // Absorption at fp16 precision.
+  EXPECT_FLOAT_EQ(ops.add(2048.0f, 1.0f), 2048.0f);
+  // Product rounding (operands are whatever floats flow in — typically
+  // already datapath-rounded upstream; mul itself rounds once).
+  EXPECT_EQ(ops.mul(0.1f, 0.1f), Half(0.1f * 0.1f).to_float());
+  EXPECT_EQ(ops.mul(Half(0.1f).to_float(), Half(0.1f).to_float()),
+            (Half(0.1f) * Half(0.1f)).to_float());
+}
+
+TEST(DtypeOps, Fp16ExpMatchesHalfExp) {
+  const DtypeOps ops(Dtype::kFp16);
+  for (float x = -8.0f; x <= 8.0f; x += 0.61f) {
+    EXPECT_EQ(ops.exp(x), half_exp(Half(x)).to_float()) << x;
+  }
+}
+
+TEST(DtypeOps, LutExpSelectable) {
+  const DtypeOps exact(Dtype::kFp16, 0);
+  const DtypeOps lut(Dtype::kFp16, 16);
+  bool differs = false;
+  for (float x = -4.0f; x <= 4.0f; x += 0.173f) {
+    if (exact.exp(x) != lut.exp(x)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AttentionCore, LoadStoresRoundedRows) {
+  const DtypeOps ops(Dtype::kFp16);
+  AttentionCore core(4, CoreKind::kWindow);
+  EXPECT_FALSE(core.valid());
+  const std::vector<float> k{0.1f, 1.0f, -2.5f, 3.3f};
+  const std::vector<float> v{1.0f, 0.1f, 0.2f, -0.3f};
+  core.load(7, k, v, ops);
+  EXPECT_TRUE(core.valid());
+  EXPECT_EQ(core.row(), 7);
+  EXPECT_EQ(core.loads(), 1);
+
+  // Q = one-hot picks out the stored (rounded) K element via the dot.
+  std::vector<float> q{0.0f, 1.0f, 0.0f, 0.0f};
+  std::vector<float> slice(4);
+  const float s_prime = core.compute(q, ops, slice);
+  // S = k[1] = 1.0 exactly; S' = exp(1.0) rounded to fp16.
+  EXPECT_FLOAT_EQ(s_prime, half_exp(Half(1.0f)).to_float());
+  // Slice = S' * V (each product rounded).
+  for (int d = 0; d < 4; ++d) {
+    const float expect =
+        (Half(s_prime) * Half(Half(v[static_cast<std::size_t>(d)]).to_float()))
+            .to_float();
+    EXPECT_FLOAT_EQ(slice[static_cast<std::size_t>(d)], expect) << d;
+  }
+}
+
+TEST(AttentionCore, SequentialMacRoundingOrderMatters) {
+  // Construct values where fp16 per-step rounding differs from a float
+  // accumulation: 1024 + 1 + 1 + ... in fp16 absorbs each 1 (ulp = 1 at
+  // 1024 is fine; use 2048 where ulp = 2).
+  const DtypeOps ops(Dtype::kFp16);
+  AttentionCore core(3, CoreKind::kWindow);
+  const std::vector<float> k{2048.0f, 1.0f, 1.0f};
+  const std::vector<float> v{1.0f, 1.0f, 1.0f};
+  core.load(0, k, v, ops);
+  const std::vector<float> q{1.0f, 1.0f, 1.0f};
+  std::vector<float> slice(3);
+  // acc: 0+2048 = 2048; +1 -> absorbed; +1 -> absorbed. exp(2048) = inf.
+  const float s = core.compute(q, ops, slice);
+  EXPECT_TRUE(std::isinf(s));
+  // Same dot in fp32 would be 2050 (also inf after exp) — instead check
+  // the accumulator directly with smaller values.
+  AttentionCore core2(3, CoreKind::kWindow);
+  const std::vector<float> k2{4.0f, 0.001f, 0.001f};
+  core2.load(0, k2, v, ops);
+  std::vector<float> slice2(3);
+  const std::vector<float> ones{1.0f, 1.0f, 1.0f};
+  const float s2 = core2.compute(ones, ops, slice2);
+  // 4 + 0.001 rounds: fp16 next to 4.001 is 4.0 (ulp at 4 is 1/256 ~ 0.0039
+  // > 0.002): both adds absorb.
+  EXPECT_FLOAT_EQ(s2, half_exp(Half(4.0f)).to_float());
+}
+
+TEST(AttentionCore, InvalidateAndReload) {
+  const DtypeOps ops(Dtype::kFp32);
+  AttentionCore core(2, CoreKind::kRandom);
+  core.load(3, std::vector<float>{1, 2}, std::vector<float>{3, 4}, ops);
+  core.invalidate();
+  EXPECT_FALSE(core.valid());
+  std::vector<float> slice(2);
+  EXPECT_THROW(core.compute(std::vector<float>{1, 0}, ops, slice),
+               std::invalid_argument);
+  core.load(5, std::vector<float>{1, 2}, std::vector<float>{3, 4}, ops);
+  EXPECT_EQ(core.loads(), 2);
+  EXPECT_EQ(core.row(), 5);
+}
+
+TEST(AttentionCore, ShapeContracts) {
+  const DtypeOps ops(Dtype::kFp32);
+  AttentionCore core(4, CoreKind::kGlobal);
+  EXPECT_EQ(core.kind(), CoreKind::kGlobal);
+  EXPECT_THROW(core.load(0, std::vector<float>{1, 2},
+                         std::vector<float>{1, 2, 3, 4}, ops),
+               std::invalid_argument);
+  core.load(0, std::vector<float>(4, 1.0f), std::vector<float>(4, 1.0f), ops);
+  std::vector<float> small(2);
+  EXPECT_THROW(core.compute(std::vector<float>(4, 1.0f), ops, small),
+               std::invalid_argument);
+}
+
+TEST(AttentionCore, Fp32CoreMatchesPlainDot) {
+  const DtypeOps ops(Dtype::kFp32);
+  AttentionCore core(8, CoreKind::kWindow);
+  Rng rng(3);
+  std::vector<float> k(8), v(8), q(8);
+  for (int d = 0; d < 8; ++d) {
+    k[static_cast<std::size_t>(d)] = static_cast<float>(rng.normal());
+    v[static_cast<std::size_t>(d)] = static_cast<float>(rng.normal());
+    q[static_cast<std::size_t>(d)] = static_cast<float>(rng.normal(0, 0.3));
+  }
+  core.load(0, k, v, ops);
+  std::vector<float> slice(8);
+  const float s = core.compute(q, ops, slice);
+  float dot = 0.0f;
+  for (int d = 0; d < 8; ++d) {
+    dot += q[static_cast<std::size_t>(d)] * k[static_cast<std::size_t>(d)];
+  }
+  EXPECT_FLOAT_EQ(s, std::exp(dot));
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_FLOAT_EQ(slice[static_cast<std::size_t>(d)],
+                    s * v[static_cast<std::size_t>(d)]);
+  }
+}
+
+}  // namespace
+}  // namespace swat

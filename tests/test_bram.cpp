@@ -1,0 +1,53 @@
+// Tests for the BRAM model.
+#include <gtest/gtest.h>
+
+#include "hw/bram.hpp"
+
+namespace swat::hw {
+namespace {
+
+TEST(Bram, CapacityIs36Kb) {
+  EXPECT_EQ(BramBlock::kBitsPerBlock, 36 * 1024);
+  EXPECT_EQ(BramBlock::kPorts, 2);
+}
+
+TEST(Bram, ReserveTracksUsage) {
+  BramBlock b;
+  EXPECT_TRUE(b.reserve(1024));
+  EXPECT_EQ(b.used_bits(), 1024);
+  EXPECT_EQ(b.free_bits(), 36 * 1024 - 1024);
+  EXPECT_TRUE(b.reserve(b.free_bits()));
+  EXPECT_EQ(b.free_bits(), 0);
+}
+
+TEST(Bram, ReserveRejectsOverflowAtomically) {
+  BramBlock b;
+  EXPECT_TRUE(b.reserve(30000));
+  EXPECT_FALSE(b.reserve(10000));
+  EXPECT_EQ(b.used_bits(), 30000);  // failed reserve changed nothing
+}
+
+TEST(Bram, AccessCounters) {
+  BramBlock b;
+  b.record_read(10);
+  b.record_write();
+  b.record_read();
+  EXPECT_EQ(b.reads(), 11);
+  EXPECT_EQ(b.writes(), 1);
+}
+
+TEST(BramSizing, SwatKvRowsFitOneBlock) {
+  // One K row + one V row at H = 64: fp16 -> 2048 bits, fp32 -> 4096 bits.
+  EXPECT_EQ(brams_for_buffer(1, 2 * 64 * 16), 1);
+  EXPECT_EQ(brams_for_buffer(1, 2 * 64 * 32), 1);
+}
+
+TEST(BramSizing, LargeBuffersSplitAcrossBlocks) {
+  EXPECT_EQ(brams_for_buffer(1, 36 * 1024), 1);
+  EXPECT_EQ(brams_for_buffer(1, 36 * 1024 + 1), 2);
+  EXPECT_EQ(brams_for_buffer(64, 4096), 8);  // 256 Kb over 36 Kb blocks
+  EXPECT_THROW(brams_for_buffer(0, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::hw

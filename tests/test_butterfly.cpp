@@ -1,0 +1,102 @@
+// Tests for the Butterfly accelerator baseline model.
+#include <gtest/gtest.h>
+
+#include "baselines/butterfly.hpp"
+#include "eval/calibration.hpp"
+
+namespace swat::baselines {
+namespace {
+
+TEST(Butterfly, EngineScalingLaws) {
+  const ButterflyModel m(ButterflyConfig::btf(1));
+  // ATTN engine is quadratic.
+  const double a1 = m.attn_layer_full_fabric(4096).value;
+  const double a2 = m.attn_layer_full_fabric(8192).value;
+  EXPECT_NEAR(a2 / a1, 4.0, 1e-9);
+  // FFT engine is N log N.
+  const double f1 = m.fft_layer_full_fabric(4096).value;
+  const double f2 = m.fft_layer_full_fabric(8192).value;
+  EXPECT_NEAR(f2 / f1, 2.0 * 13.0 / 12.0, 1e-9);
+}
+
+TEST(Butterfly, ProjectionIsOptimal) {
+  // T(r*) <= T(r) for sampled r: the closed-form split really is the DSE
+  // optimum the paper describes.
+  const ButterflyModel m(ButterflyConfig::btf(2));
+  const auto p = m.project(4096);
+  const double a = m.attn_layer_full_fabric(4096).value * 2.0;
+  const double f = m.fft_layer_full_fabric(4096).value * 6.0;
+  for (double r = 0.05; r < 1.0; r += 0.05) {
+    const double t = a / r + f / (1.0 - r);
+    EXPECT_GE(t, p.total.value - 1e-12) << "r=" << r;
+  }
+  EXPECT_GT(p.attn_fraction, 0.0);
+  EXPECT_LT(p.attn_fraction, 1.0);
+}
+
+TEST(Butterfly, AttnFractionGrowsWithLength) {
+  // Longer inputs shift the optimum toward the quadratic attention engine.
+  const ButterflyModel m(ButterflyConfig::btf(1));
+  double prev = 0.0;
+  for (std::int64_t n : {1024, 2048, 4096, 8192, 16384}) {
+    const double r = m.project(n).attn_fraction;
+    EXPECT_GT(r, prev) << "n=" << n;
+    prev = r;
+  }
+  EXPECT_GT(prev, 0.8);  // attention dominates at 16k
+}
+
+TEST(Butterfly, PureFftAndPureAttnEdgeCases) {
+  ButterflyConfig pure_fft = ButterflyConfig::btf(0);
+  const auto p0 = ButterflyModel(pure_fft).project(4096);
+  EXPECT_DOUBLE_EQ(p0.attn_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p0.attn_time.value, 0.0);
+
+  ButterflyConfig pure_attn = ButterflyConfig::btf(calib::kModelLayers);
+  const auto p1 = ButterflyModel(pure_attn).project(4096);
+  EXPECT_DOUBLE_EQ(p1.attn_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p1.fft_time.value, 0.0);
+}
+
+TEST(Butterfly, Btf2SlowerThanBtf1) {
+  const ButterflyModel btf1(ButterflyConfig::btf(1));
+  const ButterflyModel btf2(ButterflyConfig::btf(2));
+  for (std::int64_t n : {1024, 4096, 16384}) {
+    EXPECT_GT(btf2.project(n).total.value, btf1.project(n).total.value)
+        << "n=" << n;
+  }
+}
+
+TEST(Butterfly, ResourcesMatchPublishedRow) {
+  const auto r = ButterflyModel(ButterflyConfig::btf(1)).resources();
+  const auto total = hw::DeviceCatalog::vcu128().total;
+  EXPECT_NEAR(static_cast<double>(r.dsp) / total.dsp, 0.32, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.lut) / total.lut, 0.79, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.ff) / total.ff, 0.63, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.bram) / total.bram, 0.49, 0.01);
+}
+
+TEST(Butterfly, PowerIsModestDueToSerializedEngines) {
+  const Watts p = ButterflyModel(ButterflyConfig::btf(1)).power();
+  EXPECT_GT(p.value, 8.0);
+  EXPECT_LT(p.value, 20.0);
+}
+
+TEST(Butterfly, EnergyGrowsSuperlinearly) {
+  const ButterflyModel m(ButterflyConfig::btf(1));
+  const double e4k = m.model_energy(4096).value;
+  const double e16k = m.model_energy(16384).value;
+  EXPECT_GT(e16k / e4k, 8.0);  // quadratic layer dominates
+}
+
+TEST(Butterfly, InvalidConfigsThrow) {
+  ButterflyConfig bad = ButterflyConfig::btf(1);
+  bad.softmax_layers = 9;  // > layers
+  EXPECT_THROW(ButterflyModel{bad}, std::invalid_argument);
+  bad = ButterflyConfig::btf(1);
+  bad.layers = 0;
+  EXPECT_THROW(ButterflyModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::baselines

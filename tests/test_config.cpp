@@ -1,0 +1,92 @@
+// Tests for SwatConfig (design-time parameters, paper Fig. 7).
+#include <gtest/gtest.h>
+
+#include "swat/config.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Config, LongformerFactory) {
+  const SwatConfig c = SwatConfig::longformer_512();
+  EXPECT_EQ(c.dtype, Dtype::kFp16);
+  EXPECT_EQ(c.head_dim, 64);
+  EXPECT_EQ(c.window_cores, 512);
+  EXPECT_EQ(c.global_cores, 0);
+  EXPECT_EQ(c.random_cores, 0);
+  EXPECT_EQ(c.cores_per_pipeline(), 512);
+  EXPECT_EQ(c.pipelines, 1);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, BigbirdFactoryMatchesPaperSplit) {
+  // Paper Table 2: 192 window + 192 random + 128 global = 512 tokens/row.
+  const SwatConfig c = SwatConfig::bigbird_512();
+  EXPECT_EQ(c.window_cores, 192);
+  EXPECT_EQ(c.random_cores, 192);
+  EXPECT_EQ(c.global_cores, 128);
+  EXPECT_EQ(c.cores_per_pipeline(), 512);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, DualPipelineFactory) {
+  const SwatConfig c = SwatConfig::bigbird_dual_512();
+  EXPECT_EQ(c.pipelines, 2);
+  EXPECT_EQ(c.cores_per_pipeline(), 512);
+}
+
+TEST(Config, WindowReachSplitsBand) {
+  const SwatConfig c = SwatConfig::longformer_512();
+  EXPECT_EQ(c.window_before(), 256);
+  EXPECT_EQ(c.window_after(), 255);
+  EXPECT_EQ(c.window_before() + c.window_after() + 1, 512);
+}
+
+TEST(Config, PatternSpecMatchesCores) {
+  const SwatConfig c = SwatConfig::bigbird_512();
+  const attn::PatternSpec s = c.pattern_spec(4096);
+  EXPECT_EQ(s.seq_len, 4096);
+  EXPECT_EQ(s.band_tokens(), 192);
+  EXPECT_EQ(s.num_global_tokens, 128);
+  EXPECT_EQ(s.num_random_tokens, 192);
+  EXPECT_FALSE(s.symmetric_global);  // hardware-facing spec
+}
+
+TEST(Config, PatternSpecClampsToShortSequences) {
+  const SwatConfig c = SwatConfig::bigbird_512();
+  const attn::PatternSpec s = c.pattern_spec(64);
+  EXPECT_EQ(s.num_global_tokens, 64);
+  EXPECT_EQ(s.num_random_tokens, 64);
+}
+
+TEST(Config, ValidationRejectsBadShapes) {
+  SwatConfig c = SwatConfig::longformer_512();
+  c.window_cores = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SwatConfig::longformer_512();
+  c.window_cores = 500;  // not a multiple of head_dim
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SwatConfig::longformer_512();
+  c.pipelines = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SwatConfig::longformer_512();
+  c.head_dim = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, SummaryMentionsKeyParameters) {
+  const std::string s = SwatConfig::bigbird_512().summary();
+  EXPECT_NE(s.find("fp16"), std::string::npos);
+  EXPECT_NE(s.find("512"), std::string::npos);
+  EXPECT_NE(s.find("192"), std::string::npos);
+}
+
+TEST(Config, DefaultClockFromCalibration) {
+  const SwatConfig c;
+  EXPECT_DOUBLE_EQ(c.clock.hz, 300e6);
+}
+
+}  // namespace
+}  // namespace swat

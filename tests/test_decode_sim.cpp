@@ -1,0 +1,174 @@
+// Tests for the autoregressive decode model and the symmetric-global
+// two-pass extension.
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/window.hpp"
+#include "swat/analytic.hpp"
+#include "swat/decode_sim.hpp"
+#include "swat/timing_sim.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+SwatConfig causal_cfg() {
+  SwatConfig c;
+  c.head_dim = 8;
+  c.window_cores = 16;
+  c.band_split = BandSplit::kCausal;
+  return c;
+}
+
+TEST(DecodeSim, OutputsMatchBatchCausalRun) {
+  Rng rng(1);
+  const attn::HeadInput in = attn::random_head_input(80, 8, rng);
+  const DecodeResult dec = DecodeSimulator(causal_cfg()).run(in);
+  const MatrixF batch = FunctionalSimulator(causal_cfg()).run(in).z;
+  swat::testing::expect_matrix_equal(dec.z, batch, "decode vs batch");
+}
+
+TEST(DecodeSim, OutputsMatchCausalOracle) {
+  Rng rng(2);
+  const attn::HeadInput in = attn::random_head_input(64, 8, rng);
+  const DecodeResult dec = DecodeSimulator(causal_cfg()).run(in);
+  swat::testing::expect_matrix_near(dec.z, attn::band_attention(in, 15, 0),
+                                    0.03f, "decode vs oracle");
+}
+
+TEST(DecodeSim, PrefixInvariance) {
+  // Decoding is incremental: the first t outputs cannot depend on tokens
+  // after t. Run with 48 and 64 tokens; the first 48 rows must agree.
+  Rng rng(3);
+  const attn::HeadInput full = attn::random_head_input(64, 8, rng);
+  attn::HeadInput prefix;
+  prefix.q = MatrixF(48, 8);
+  prefix.k = MatrixF(48, 8);
+  prefix.v = MatrixF(48, 8);
+  for (std::int64_t i = 0; i < 48; ++i) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      prefix.q(i, d) = full.q(i, d);
+      prefix.k(i, d) = full.k(i, d);
+      prefix.v(i, d) = full.v(i, d);
+    }
+  }
+  const DecodeSimulator sim(causal_cfg());
+  const MatrixF zf = sim.run(full).z;
+  const MatrixF zp = sim.run(prefix).z;
+  for (std::int64_t i = 0; i < 48; ++i) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      EXPECT_EQ(zp(i, d), zf(i, d)) << i << "," << d;
+    }
+  }
+}
+
+TEST(DecodeSim, PerTokenLatencyIsFillNotIi) {
+  const DecodeSimulator sim(SwatConfig::causal_512());
+  Rng rng(4);
+  const attn::HeadInput in = attn::random_head_input(32, 64, rng);
+  const DecodeResult r = sim.run(in);
+  EXPECT_EQ(r.per_token.count, 904u);  // the FP16 longest path
+  EXPECT_EQ(r.total.count, 32u * 904u);
+  // ~332k tokens/s/head at 300 MHz.
+  EXPECT_NEAR(r.tokens_per_second, 300e6 / 904.0, 1.0);
+}
+
+TEST(DecodeSim, TrafficIsOneKvRowPerToken) {
+  const DecodeSimulator sim(SwatConfig::causal_512());
+  Rng rng(5);
+  const attn::HeadInput in = attn::random_head_input(16, 64, rng);
+  const DecodeResult r = sim.run(in);
+  EXPECT_EQ(r.kv_bytes_per_token.count, 2u * 64 * 2);
+  // Rolling cache: 512 cores x (K+V) x 64 x 2 B = 128 KiB on chip.
+  EXPECT_EQ(r.cache_bytes.count, 512u * 2 * 64 * 2);
+}
+
+TEST(DecodeSim, RequiresCausalConfig) {
+  EXPECT_THROW(DecodeSimulator(SwatConfig::longformer_512()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric-global two-pass extension
+// ---------------------------------------------------------------------------
+
+SwatConfig sym_cfg() {
+  SwatConfig c;
+  c.head_dim = 8;
+  c.window_cores = 16;
+  c.global_cores = 8;
+  c.symmetric_global = true;
+  return c;
+}
+
+TEST(SymmetricGlobal, MatchesSymmetricMaskedOracle) {
+  Rng rng(6);
+  const std::int64_t n = 96;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+  const SwatConfig cfg = sym_cfg();
+  const auto res = FunctionalSimulator(cfg).run(in);
+  attn::PatternSpec spec = cfg.pattern_spec(n);
+  ASSERT_TRUE(spec.symmetric_global);
+  const attn::AttentionPattern pattern(spec);
+  // Global rows now attend everything.
+  EXPECT_EQ(pattern.row(0).size(), static_cast<std::size_t>(n));
+  swat::testing::expect_matrix_near(res.z,
+                                    attn::masked_attention(in, pattern),
+                                    0.04f, "symmetric global");
+}
+
+TEST(SymmetricGlobal, PassAccountingAndTraffic) {
+  Rng rng(7);
+  const std::int64_t n = 100;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+  const SwatConfig cfg = sym_cfg();  // 24 cores total
+  const auto res = FunctionalSimulator(cfg).run(in);
+  // ceil(100 / 24) = 5 passes per global row, 8 global rows.
+  EXPECT_EQ(res.symmetric_global_passes, 5 * 8);
+  // Traffic exceeds the exactly-once baseline (global passes re-stream).
+  const auto baseline = FunctionalSimulator(SwatConfig{
+      [] {
+        SwatConfig c;
+        c.head_dim = 8;
+        c.window_cores = 16;
+        c.global_cores = 8;
+        return c;
+      }()}).run(in);
+  EXPECT_GT(res.kv_bytes_read.count, baseline.kv_bytes_read.count);
+}
+
+TEST(SymmetricGlobal, RowSlotsClosedForm) {
+  SwatConfig cfg = sym_cfg();  // 24 cores
+  // (n - G) + G * ceil(n / 24).
+  EXPECT_EQ(cfg.row_slots(96), (96 - 8) + 8 * 4);
+  EXPECT_EQ(cfg.row_slots(100), (100 - 8) + 8 * 5);
+  cfg.symmetric_global = false;
+  EXPECT_EQ(cfg.row_slots(96), 96);
+}
+
+TEST(SymmetricGlobal, TimingAndAnalyticAgree) {
+  const SwatConfig cfg = sym_cfg();
+  EXPECT_EQ(TimingSimulator(cfg).run(96).total.count,
+            AnalyticModel(cfg).head_cycles(96).count);
+  // And the extension costs more cycles than the plain design.
+  SwatConfig plain = cfg;
+  plain.symmetric_global = false;
+  EXPECT_GT(AnalyticModel(cfg).head_cycles(96).count,
+            AnalyticModel(plain).head_cycles(96).count);
+}
+
+TEST(SymmetricGlobal, OffByDefaultKeepsExactlyOnceLoading) {
+  Rng rng(8);
+  const std::int64_t n = 120;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+  SwatConfig cfg = sym_cfg();
+  cfg.symmetric_global = false;
+  const auto res = FunctionalSimulator(cfg).run(in);
+  EXPECT_EQ(res.symmetric_global_passes, 0);
+  // window rows once + 8 global preloads.
+  EXPECT_EQ(res.kv_bytes_read.count,
+            2ull * 8 * 2 * (static_cast<std::uint64_t>(n) + 8));
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,215 @@
+// Tests for the dilated and causal window extensions (Longformer's dilated
+// sliding window and Mistral-style causal local attention) across the
+// pattern, config and functional-simulator layers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attention/reference.hpp"
+#include "attention/window.hpp"
+#include "swat/functional_sim.hpp"
+#include "swat/stage_latency.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pattern layer
+// ---------------------------------------------------------------------------
+
+TEST(DilatedPattern, AttendsEveryDthToken) {
+  attn::PatternSpec s;
+  s.seq_len = 128;
+  s.window_before = 3;
+  s.window_after = 3;
+  s.window_dilation = 4;
+  const attn::AttentionPattern p(s);
+  const auto& row = p.row(64);
+  ASSERT_EQ(row.size(), 7u);
+  for (std::int64_t j = 0; j < 7; ++j) {
+    EXPECT_EQ(row[static_cast<std::size_t>(j)].col, 64 + (j - 3) * 4);
+  }
+  EXPECT_TRUE(p.attends(64, 64));
+  EXPECT_TRUE(p.attends(64, 60));
+  EXPECT_FALSE(p.attends(64, 63));
+  EXPECT_FALSE(p.attends(64, 62));
+}
+
+TEST(DilatedPattern, WidensReceptiveFieldAtSameBudget) {
+  attn::PatternSpec dense_band;
+  dense_band.seq_len = 256;
+  dense_band.window_before = 8;
+  dense_band.window_after = 8;
+  attn::PatternSpec dilated = dense_band;
+  dilated.window_dilation = 4;
+  const attn::AttentionPattern pd(dense_band);
+  const attn::AttentionPattern pl(dilated);
+  // Same attended-token count per interior row...
+  EXPECT_EQ(pd.row(128).size(), pl.row(128).size());
+  // ...but 4x the reach.
+  EXPECT_EQ(pd.row(128).front().col, 120);
+  EXPECT_EQ(pl.row(128).front().col, 96);
+}
+
+TEST(DilatedPattern, ClipsAtBoundaries) {
+  attn::PatternSpec s;
+  s.seq_len = 32;
+  s.window_before = 4;
+  s.window_after = 4;
+  s.window_dilation = 8;
+  const attn::AttentionPattern p(s);
+  // Row 0: only non-negative steps survive -> cols {0, 8, 16, 24}.
+  const auto& row = p.row(0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row.back().col, 24);
+}
+
+TEST(DilatedPattern, InvalidDilationThrows) {
+  attn::PatternSpec s;
+  s.seq_len = 16;
+  s.window_before = 1;
+  s.window_after = 1;
+  s.window_dilation = 0;
+  EXPECT_THROW(attn::AttentionPattern{s}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Config layer
+// ---------------------------------------------------------------------------
+
+TEST(CausalConfig, BandEntirelyAtOrBeforeDiagonal) {
+  const SwatConfig c = SwatConfig::causal_512();
+  EXPECT_EQ(c.window_before(), 511);
+  EXPECT_EQ(c.window_after(), 0);
+  EXPECT_EQ(c.window_steps(), 512);
+  const auto spec = c.pattern_spec(2048);
+  const attn::AttentionPattern p(spec);
+  for (std::int64_t i : {0L, 700L, 2047L}) {
+    for (const auto& t : p.row(i)) {
+      EXPECT_LE(t.col, i) << "row " << i;
+    }
+  }
+}
+
+TEST(DilatedConfig, StepsAndValidation) {
+  SwatConfig c = SwatConfig::longformer_512();
+  c.window_dilation = 4;
+  EXPECT_EQ(c.window_steps(), 128);
+  EXPECT_EQ(c.window_before(), 64);
+  EXPECT_EQ(c.window_after(), 63);
+  EXPECT_NO_THROW(c.validate());
+  c.window_dilation = 3;  // 512 % 3 != 0
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(DilatedConfig, TimingUnchanged) {
+  // Dilation re-wires the LOAD crossbar but leaves stage latencies alone.
+  SwatConfig c = SwatConfig::longformer_512();
+  c.window_dilation = 4;
+  EXPECT_EQ(row_interval(c).count, 201u);
+}
+
+// ---------------------------------------------------------------------------
+// Functional simulator
+// ---------------------------------------------------------------------------
+
+SwatConfig small_cfg() {
+  SwatConfig c;
+  c.head_dim = 8;
+  c.window_cores = 16;
+  return c;
+}
+
+TEST(CausalSim, MatchesCausalBandOracle) {
+  Rng rng(1);
+  SwatConfig cfg = small_cfg();
+  cfg.band_split = BandSplit::kCausal;
+  const attn::HeadInput in = attn::random_head_input(96, 8, rng);
+  const MatrixF hw = FunctionalSimulator(cfg).run(in).z;
+  const MatrixF oracle = attn::band_attention(in, 15, 0);
+  swat::testing::expect_matrix_near(hw, oracle, 0.03f,
+                                    "causal sim vs band oracle");
+}
+
+TEST(CausalSim, FutureTokensCannotInfluenceOutput) {
+  Rng rng(2);
+  SwatConfig cfg = small_cfg();
+  cfg.band_split = BandSplit::kCausal;
+  attn::HeadInput in = attn::random_head_input(64, 8, rng);
+  const MatrixF before = FunctionalSimulator(cfg).run(in).z;
+  // Perturb the tail of K and V; rows < 40 must be bit-identical.
+  for (std::int64_t r = 40; r < 64; ++r) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      in.k(r, d) += 5.0f;
+      in.v(r, d) -= 3.0f;
+    }
+  }
+  const MatrixF after = FunctionalSimulator(cfg).run(in).z;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      EXPECT_EQ(before(i, d), after(i, d)) << i << "," << d;
+    }
+  }
+}
+
+TEST(DilatedSim, MatchesMaskedOracle) {
+  Rng rng(3);
+  for (std::int64_t dilation : {2, 4}) {
+    SwatConfig cfg = small_cfg();
+    cfg.window_dilation = dilation;
+    const attn::HeadInput in = attn::random_head_input(128, 8, rng);
+    const auto res = FunctionalSimulator(cfg).run(in);
+    const attn::AttentionPattern pattern(cfg.pattern_spec(128));
+    const MatrixF oracle = attn::masked_attention(in, pattern);
+    swat::testing::expect_matrix_near(res.z, oracle, 0.03f,
+                                      "dilated sim vs masked oracle");
+    EXPECT_EQ(res.attended_pairs, pattern.nnz());
+  }
+}
+
+TEST(DilatedSim, LoadsEachRowExactlyOnce) {
+  Rng rng(4);
+  SwatConfig cfg = small_cfg();
+  cfg.window_dilation = 4;
+  const std::int64_t n = 200;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+  const auto res = FunctionalSimulator(cfg).run(in);
+  EXPECT_EQ(res.window_core_loads, n);
+  EXPECT_EQ(res.kv_bytes_read.count, 2ull * n * 8 * 2);
+}
+
+TEST(DilatedCausalSim, ComposedModesAgreeWithOracle) {
+  Rng rng(5);
+  SwatConfig cfg = small_cfg();
+  cfg.window_dilation = 2;
+  cfg.band_split = BandSplit::kCausal;
+  const attn::HeadInput in = attn::random_head_input(96, 8, rng);
+  const auto res = FunctionalSimulator(cfg).run(in);
+  const attn::AttentionPattern pattern(cfg.pattern_spec(96));
+  swat::testing::expect_matrix_near(res.z,
+                                    attn::masked_attention(in, pattern),
+                                    0.03f, "dilated causal");
+  // Causal + dilation 2: row i attends {i, i-2, ..., i-14}.
+  EXPECT_TRUE(pattern.attends(50, 50));
+  EXPECT_TRUE(pattern.attends(50, 36));
+  EXPECT_FALSE(pattern.attends(50, 49));
+  EXPECT_FALSE(pattern.attends(50, 52));
+}
+
+TEST(DilatedSim, BigbirdWithDilationStillWorks) {
+  Rng rng(6);
+  SwatConfig cfg = small_cfg();
+  cfg.window_dilation = 2;
+  cfg.global_cores = 4;
+  cfg.random_cores = 4;
+  const attn::HeadInput in = attn::random_head_input(120, 8, rng);
+  const auto res = FunctionalSimulator(cfg).run(in);
+  const attn::AttentionPattern pattern(cfg.pattern_spec(120));
+  swat::testing::expect_matrix_near(res.z,
+                                    attn::masked_attention(in, pattern),
+                                    0.04f, "dilated bigbird");
+}
+
+}  // namespace
+}  // namespace swat

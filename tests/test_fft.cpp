@@ -1,0 +1,151 @@
+// Tests for the FFT substrate and FNet-style mixing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "attention/fft_mixing.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::attn {
+namespace {
+
+using Cplx = std::complex<double>;
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Cplx> x(8, Cplx{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft_radix2(x, false);
+  for (const auto& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesImpulse) {
+  std::vector<Cplx> x(16, Cplx{1.0, 0.0});
+  fft_radix2(x, false);
+  EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const int k = 5;
+  std::vector<Cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * std::numbers::pi * k * static_cast<double>(i) /
+                       static_cast<double>(n);
+    x[i] = {std::cos(ang), 0.0};
+  }
+  fft_radix2(x, false);
+  EXPECT_NEAR(std::abs(x[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[n - k]), n / 2.0, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != static_cast<std::size_t>(k) && i != n - k) {
+      EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9) << "bin " << i;
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(1);
+  std::vector<Cplx> x(128);
+  for (auto& c : x) c = {rng.normal(), rng.normal()};
+  auto y = x;
+  fft_radix2(y, false);
+  fft_radix2(y, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, Parseval) {
+  Rng rng(2);
+  std::vector<Cplx> x(64);
+  double time_energy = 0.0;
+  for (auto& c : x) {
+    c = {rng.normal(), 0.0};
+    time_energy += std::norm(c);
+  }
+  fft_radix2(x, false);
+  double freq_energy = 0.0;
+  for (const auto& c : x) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, 64.0 * time_energy, 1e-6 * freq_energy);
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(3);
+  std::vector<Cplx> a(32), b(32), sum(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = {rng.normal(), 0.0};
+    b[i] = {rng.normal(), 0.0};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  fft_radix2(sum, false);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RequiresPowerOfTwo) {
+  std::vector<Cplx> x(12);
+  EXPECT_THROW(fft_radix2(x, false), std::invalid_argument);
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(FnetMixing, ShapePreservedAndDeterministic) {
+  Rng rng(4);
+  const MatrixF x = random_normal(64, 16, rng);
+  const MatrixF y1 = fnet_mixing(x);
+  const MatrixF y2 = fnet_mixing(x);
+  EXPECT_EQ(y1.rows(), 64);
+  EXPECT_EQ(y1.cols(), 16);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(FnetMixing, IsLinearAndDataIndependentMixing) {
+  // FNet mixing is a fixed linear operator: f(a x) = a f(x).
+  Rng rng(5);
+  const MatrixF x = random_normal(32, 8, rng);
+  MatrixF x2 = x;
+  for (float& v : x2.flat()) v *= 3.0f;
+  const MatrixF y = fnet_mixing(x);
+  MatrixF y3 = fnet_mixing(x2);
+  for (std::int64_t i = 0; i < y.rows(); ++i) {
+    for (std::int64_t j = 0; j < y.cols(); ++j) {
+      EXPECT_NEAR(y3(i, j), 3.0f * y(i, j), 1e-3f);
+    }
+  }
+}
+
+TEST(FftTokenMixing, DcColumnIsColumnSum) {
+  Rng rng(6);
+  const MatrixF x = random_normal(16, 4, rng);
+  const MatrixF y = fft_token_mixing(x);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    float sum = 0.0f;
+    for (std::int64_t r = 0; r < 16; ++r) sum += x(r, c);
+    EXPECT_NEAR(y(0, c), sum, 1e-4f);
+  }
+}
+
+TEST(FftButterflyCount, Formula) {
+  EXPECT_EQ(fft_butterfly_count(2), 1);
+  EXPECT_EQ(fft_butterfly_count(8), 12);
+  EXPECT_EQ(fft_butterfly_count(1024), 512 * 10);
+  EXPECT_THROW(fft_butterfly_count(12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::attn

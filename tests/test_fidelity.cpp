@@ -1,0 +1,148 @@
+// Tests for the mixing-fidelity proxy (Tables 3/4 substitute).
+#include <gtest/gtest.h>
+
+#include "attention/fidelity.hpp"
+
+namespace swat::attn {
+namespace {
+
+FidelityConfig small_cfg(InputStructure s) {
+  FidelityConfig cfg;
+  cfg.seq_len = 256;
+  cfg.dim = 32;
+  cfg.window_radius = 24;
+  cfg.bigbird_random = 16;
+  cfg.bigbird_global = 8;
+  // Text correlates over long spans (beyond the window); image patches
+  // over short local neighbourhoods.
+  cfg.corr_len = s == InputStructure::kText1d ? 24.0 : 4.0;
+  cfg.structure = s;
+  return cfg;
+}
+
+TEST(Schedules, Construction) {
+  const auto uni = schedule_uniform(MixerKind::kWindow, 4);
+  ASSERT_EQ(uni.size(), 4u);
+  for (auto k : uni) EXPECT_EQ(k, MixerKind::kWindow);
+
+  const auto btf1 = schedule_btf(4, 1);
+  EXPECT_EQ(btf1[0], MixerKind::kFnet);
+  EXPECT_EQ(btf1[2], MixerKind::kFnet);
+  EXPECT_EQ(btf1[3], MixerKind::kDense);
+
+  const auto btf2 = schedule_btf(4, 2);
+  EXPECT_EQ(btf2[1], MixerKind::kFnet);
+  EXPECT_EQ(btf2[2], MixerKind::kDense);
+  EXPECT_EQ(btf2[3], MixerKind::kDense);
+
+  EXPECT_THROW(schedule_btf(4, 5), std::invalid_argument);
+}
+
+TEST(MixerNames, Exist) {
+  EXPECT_EQ(mixer_name(MixerKind::kDense), "dense-softmax");
+  EXPECT_EQ(mixer_name(MixerKind::kWindow), "window");
+  EXPECT_EQ(mixer_name(MixerKind::kBigBird), "bigbird");
+  EXPECT_EQ(mixer_name(MixerKind::kFnet), "full-fft");
+}
+
+TEST(MixingLayer, PreservesShapeAndNormalizes) {
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  Rng rng(1);
+  const MatrixF x = random_normal(cfg.seq_len, cfg.dim, rng);
+  const MatrixF y = apply_mixing_layer(x, MixerKind::kWindow, cfg);
+  EXPECT_EQ(y.rows(), x.rows());
+  EXPECT_EQ(y.cols(), x.cols());
+  // Layer-norm: each row ~ zero mean, unit variance.
+  for (std::int64_t i = 0; i < y.rows(); i += 37) {
+    double mean = 0.0, var = 0.0;
+    for (float v : y.row(i)) mean += v;
+    mean /= static_cast<double>(y.cols());
+    for (float v : y.row(i)) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(y.cols());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Fidelity, DenseStackIsPerfect) {
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  const auto r =
+      mixing_fidelity(schedule_uniform(MixerKind::kDense, 3), cfg);
+  EXPECT_NEAR(r.mean_cosine, 1.0, 1e-9);
+  EXPECT_NEAR(r.rel_error, 0.0, 1e-9);
+}
+
+TEST(Fidelity, WindowTracksDenseFarBetterThanFft) {
+  // The core of the paper's Table 3: data-dependent local attention
+  // approximates full attention much better than fixed FFT mixing.
+  for (auto s : {InputStructure::kText1d, InputStructure::kVision2d}) {
+    const FidelityConfig cfg = small_cfg(s);
+    const auto window =
+        mixing_fidelity(schedule_uniform(MixerKind::kWindow, 3), cfg);
+    const auto fft =
+        mixing_fidelity(schedule_uniform(MixerKind::kFnet, 3), cfg);
+    EXPECT_GT(window.mean_cosine, fft.mean_cosine + 0.1)
+        << "structure=" << static_cast<int>(s);
+    EXPECT_GT(window.mean_cosine, 0.8);
+  }
+}
+
+TEST(Fidelity, HybridBtfBeatsFullFft) {
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  const auto fft = mixing_fidelity(schedule_uniform(MixerKind::kFnet, 4), cfg);
+  const auto btf1 = mixing_fidelity(schedule_btf(4, 1), cfg);
+  const auto btf2 = mixing_fidelity(schedule_btf(4, 2), cfg);
+  EXPECT_GT(btf1.mean_cosine, fft.mean_cosine);
+  EXPECT_GT(btf2.mean_cosine, btf1.mean_cosine);
+}
+
+TEST(Fidelity, WindowBeatsHybrids) {
+  // Table 3's ordering: Longformer/BigBird > BTF-2 > BTF-1 on average.
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  const auto window =
+      mixing_fidelity(schedule_uniform(MixerKind::kWindow, 4), cfg);
+  const auto bigbird =
+      mixing_fidelity(schedule_uniform(MixerKind::kBigBird, 4), cfg);
+  const auto btf2 = mixing_fidelity(schedule_btf(4, 2), cfg);
+  EXPECT_GT(window.mean_cosine, btf2.mean_cosine);
+  EXPECT_GT(bigbird.mean_cosine, btf2.mean_cosine);
+}
+
+TEST(Fidelity, BigBirdAtLeastMatchesPureWindow) {
+  // Random + global tokens add coverage of distant context.
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  const auto window =
+      mixing_fidelity(schedule_uniform(MixerKind::kWindow, 3), cfg);
+  const auto bigbird =
+      mixing_fidelity(schedule_uniform(MixerKind::kBigBird, 3), cfg);
+  EXPECT_GE(bigbird.mean_cosine, window.mean_cosine - 0.02);
+}
+
+TEST(Fidelity, VisionGapIsLargerThanTextGap) {
+  // Paper Table 3: the advantage of window-based models over full-FFT is
+  // largest on the vision tasks (Image +15.26 vs Text +0.17).
+  const auto text_cfg = small_cfg(InputStructure::kText1d);
+  const auto vis_cfg = small_cfg(InputStructure::kVision2d);
+  const auto text_gap =
+      mixing_fidelity(schedule_uniform(MixerKind::kWindow, 3), text_cfg)
+          .mean_cosine -
+      mixing_fidelity(schedule_uniform(MixerKind::kFnet, 3), text_cfg)
+          .mean_cosine;
+  const auto vis_gap =
+      mixing_fidelity(schedule_uniform(MixerKind::kWindow, 3), vis_cfg)
+          .mean_cosine -
+      mixing_fidelity(schedule_uniform(MixerKind::kFnet, 3), vis_cfg)
+          .mean_cosine;
+  EXPECT_GT(vis_gap, text_gap);
+}
+
+TEST(Fidelity, DeterministicBySeed) {
+  const FidelityConfig cfg = small_cfg(InputStructure::kText1d);
+  const auto a = mixing_fidelity(schedule_btf(3, 1), cfg);
+  const auto b = mixing_fidelity(schedule_btf(3, 1), cfg);
+  EXPECT_DOUBLE_EQ(a.mean_cosine, b.mean_cosine);
+  EXPECT_DOUBLE_EQ(a.rel_error, b.rel_error);
+}
+
+}  // namespace
+}  // namespace swat::attn

@@ -1,0 +1,87 @@
+// Tests for the fixed-length replacement FIFO (paper Fig. 4b).
+#include <gtest/gtest.h>
+
+#include "hw/fifo.hpp"
+
+namespace swat::hw {
+namespace {
+
+TEST(Fifo, StartsEmpty) {
+  ReplacementFifo<int> f(4);
+  EXPECT_EQ(f.capacity(), 4);
+  EXPECT_EQ(f.occupied(), 0);
+  EXPECT_FALSE(f.full());
+  EXPECT_EQ(f.evict_pointer(), 0);
+  EXPECT_FALSE(f.slot(0).has_value());
+}
+
+TEST(Fifo, FillsInOrder) {
+  ReplacementFifo<int> f(3);
+  EXPECT_EQ(f.push(0, 100), 0);
+  EXPECT_EQ(f.push(1, 101), 1);
+  EXPECT_EQ(f.push(2, 102), 2);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.evictions(), 0);
+  EXPECT_EQ(f.slot(1)->row, 1);
+  EXPECT_EQ(f.slot(1)->payload, 101);
+}
+
+TEST(Fifo, EvictsOldestViaMovingPointer) {
+  ReplacementFifo<int> f(3);
+  for (int r = 0; r < 3; ++r) f.push(r, r);
+  // Pointer wrapped to slot 0: next push evicts row 0.
+  EXPECT_EQ(f.evict_pointer(), 0);
+  EXPECT_EQ(f.push(3, 3), 0);
+  EXPECT_EQ(f.evictions(), 1);
+  EXPECT_FALSE(f.find_row(0).has_value());
+  EXPECT_TRUE(f.find_row(1).has_value());
+  EXPECT_TRUE(f.find_row(3).has_value());
+}
+
+TEST(Fifo, RowLivesInRowModCapacitySlot) {
+  // The invariant the SWAT LOAD stage's "i mod 2w" selection relies on.
+  ReplacementFifo<int> f(8);
+  for (int r = 0; r < 100; ++r) {
+    const auto slot = f.push(r, r);
+    EXPECT_EQ(slot, r % 8);
+    const auto found = f.find_row(r);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, r % 8);
+  }
+}
+
+TEST(Fifo, HoldsExactlyLastCapacityRows) {
+  ReplacementFifo<int> f(5);
+  for (int r = 0; r < 23; ++r) f.push(r, r);
+  for (int r = 0; r < 23; ++r) {
+    EXPECT_EQ(f.find_row(r).has_value(), r >= 18) << "row " << r;
+  }
+}
+
+TEST(Fifo, EachRowPushedExactlyOnceMeansLoadsEqualRows) {
+  // 100% off-chip transfer efficiency: pushes == distinct rows.
+  ReplacementFifo<int> f(16);
+  const int n = 200;
+  for (int r = 0; r < n; ++r) f.push(r, r);
+  EXPECT_EQ(f.pushes(), n);
+  EXPECT_EQ(f.evictions(), n - 16);
+}
+
+TEST(Fifo, PayloadMoveSemantics) {
+  ReplacementFifo<std::vector<float>> f(2);
+  std::vector<float> row(64, 1.5f);
+  f.push(0, std::move(row));
+  ASSERT_TRUE(f.slot(0).has_value());
+  EXPECT_EQ(f.slot(0)->payload.size(), 64u);
+  EXPECT_FLOAT_EQ(f.slot(0)->payload[10], 1.5f);
+}
+
+TEST(Fifo, InvalidArgsThrow) {
+  EXPECT_THROW(ReplacementFifo<int>(0), std::invalid_argument);
+  ReplacementFifo<int> f(2);
+  EXPECT_THROW(f.slot(2), std::invalid_argument);
+  EXPECT_THROW(f.slot(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::hw

@@ -1,0 +1,102 @@
+// Tests for the FLOPs/MOPs analyzer (paper Fig. 1).
+#include <gtest/gtest.h>
+
+#include "attention/flops.hpp"
+
+namespace swat::attn {
+namespace {
+
+TEST(Flops, DenseAttentionShareGrowsWithLength) {
+  const LayerShape base;
+  double prev = 0.0;
+  for (std::int64_t n = 128; n <= 16384; n *= 2) {
+    LayerShape s = base;
+    s.seq_len = n;
+    const LayerCost c = analyze_layer(s, AttentionVariant::kDense);
+    const double share = c.attention_flops_share();
+    EXPECT_GT(share, prev) << "n=" << n;
+    prev = share;
+  }
+  // At 16k the attention dominates (paper Fig. 1 shows ~0.8+).
+  EXPECT_GT(prev, 0.7);
+}
+
+TEST(Flops, DenseAttentionShareSmallAtShortLength) {
+  LayerShape s;
+  s.seq_len = 128;
+  const LayerCost c = analyze_layer(s, AttentionVariant::kDense);
+  EXPECT_LT(c.attention_flops_share(), 0.1);
+}
+
+TEST(Flops, WindowVariantCapsAttentionShare) {
+  LayerShape s;
+  s.seq_len = 16384;
+  const LayerCost dense = analyze_layer(s, AttentionVariant::kDense);
+  const LayerCost win = analyze_layer(s, AttentionVariant::kWindow, 512);
+  EXPECT_LT(win.attention_flops, dense.attention_flops / 10.0);
+  // Window attention FLOPs grow linearly: share converges to a constant.
+  LayerShape s2 = s;
+  s2.seq_len = 8192;
+  const LayerCost win2 = analyze_layer(s2, AttentionVariant::kWindow, 512);
+  EXPECT_NEAR(win.attention_flops_share(), win2.attention_flops_share(),
+              0.02);
+}
+
+TEST(Flops, WindowEqualsDenseWhenBandCoversSequence) {
+  LayerShape s;
+  s.seq_len = 256;
+  const LayerCost dense = analyze_layer(s, AttentionVariant::kDense);
+  const LayerCost win = analyze_layer(s, AttentionVariant::kWindow, 512);
+  EXPECT_DOUBLE_EQ(win.attention_flops, dense.attention_flops);
+}
+
+TEST(Mops, AttentionMemoryDominatesAtLongLength) {
+  LayerShape s;
+  s.seq_len = 16384;
+  const LayerCost c = analyze_layer(s, AttentionVariant::kDense);
+  EXPECT_GT(c.attention_mops_share(), 0.9);
+}
+
+TEST(Mops, LinearAndFfnDominateAtShortLength) {
+  LayerShape s;
+  s.seq_len = 128;
+  const LayerCost c = analyze_layer(s, AttentionVariant::kDense);
+  EXPECT_GT(c.linear_mops + c.ffn_mops, c.attention_mops);
+}
+
+TEST(Flops, LinearAndFfnScaleLinearlyWithN) {
+  LayerShape a;
+  a.seq_len = 1024;
+  LayerShape b;
+  b.seq_len = 2048;
+  const LayerCost ca = analyze_layer(a, AttentionVariant::kDense);
+  const LayerCost cb = analyze_layer(b, AttentionVariant::kDense);
+  EXPECT_NEAR(cb.linear_flops / ca.linear_flops, 2.0, 1e-9);
+  EXPECT_NEAR(cb.ffn_flops / ca.ffn_flops, 2.0, 1e-9);
+  EXPECT_NEAR(cb.attention_flops / ca.attention_flops, 4.0, 1e-9);
+}
+
+TEST(Flops, KnownFormulaValues) {
+  LayerShape s;
+  s.seq_len = 1024;
+  s.d_model = 768;
+  s.num_heads = 12;
+  s.ffn_mult = 4;
+  const LayerCost c = analyze_layer(s, AttentionVariant::kDense);
+  EXPECT_DOUBLE_EQ(c.linear_flops, 4.0 * 2.0 * 1024.0 * 768.0 * 768.0);
+  EXPECT_DOUBLE_EQ(c.ffn_flops, 2.0 * 2.0 * 1024.0 * 768.0 * 4.0 * 768.0);
+  const double qk_sv = 4.0 * 1024.0 * 1024.0 * 768.0;
+  const double sm = 5.0 * 1024.0 * 1024.0 * 12.0;
+  EXPECT_DOUBLE_EQ(c.attention_flops, qk_sv + sm);
+}
+
+TEST(Flops, InvalidShapesThrow) {
+  LayerShape s;
+  s.d_model = 770;  // not divisible by heads
+  s.num_heads = 12;
+  EXPECT_THROW(analyze_layer(s, AttentionVariant::kDense),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::attn

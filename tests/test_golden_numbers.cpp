@@ -1,0 +1,81 @@
+// Golden-number lock: pins the headline values of every reproduced figure
+// so that any calibration or model edit that silently shifts the
+// reproduction fails loudly. Tolerances are tight (these are deterministic
+// models — the bands exist only to allow intentional re-calibration within
+// the paper's own precision).
+#include <gtest/gtest.h>
+
+#include "baselines/butterfly.hpp"
+#include "baselines/gpu_model.hpp"
+#include "eval/experiments.hpp"
+#include "swat/analytic.hpp"
+#include "swat/power_model.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Golden, SwatHeadLatencies) {
+  const AnalyticModel fp16(SwatConfig::longformer_512());
+  const AnalyticModel fp32(SwatConfig::longformer_512(Dtype::kFp32));
+  EXPECT_EQ(fp16.head_cycles(4096).count, 904u + 4095u * 201u);
+  EXPECT_NEAR(fp16.head_time(16384).milliseconds(), 10.98, 0.02);
+  EXPECT_NEAR(fp32.head_time(16384).milliseconds(), 14.42, 0.02);
+}
+
+TEST(Golden, Powers) {
+  EXPECT_NEAR(swat_power(SwatConfig::longformer_512()).value, 27.2, 0.5);
+  EXPECT_NEAR(swat_power(SwatConfig::longformer_512(Dtype::kFp32)).value,
+              49.1, 0.7);
+  EXPECT_NEAR(
+      baselines::ButterflyModel(baselines::ButterflyConfig::btf(1))
+          .power()
+          .value,
+      14.2, 0.4);
+}
+
+TEST(Golden, GpuLatencies) {
+  const baselines::GpuModel gpu;
+  EXPECT_NEAR(
+      gpu.estimate(baselines::GpuKernel::kDense, 16384).latency.milliseconds(),
+      20.19, 0.3);
+  EXPECT_NEAR(gpu.estimate(baselines::GpuKernel::kSlidingChunks, 16384)
+                  .latency.milliseconds(),
+              14.24, 0.3);
+  EXPECT_NEAR(
+      gpu.estimate(baselines::GpuKernel::kDense, 1024).latency.milliseconds(),
+      2.94, 0.05);
+}
+
+TEST(Golden, Fig8Series) {
+  const auto rows = eval::fig8_speedups();
+  ASSERT_EQ(rows.size(), 5u);
+  const double btf1[] = {2.3, 3.8, 6.7, 12.0, 22.0};
+  const double btf2[] = {3.6, 6.4, 11.6, 21.4, 40.4};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].speedup_vs_btf1, btf1[i], 0.15) << i;
+    EXPECT_NEAR(rows[i].speedup_vs_btf2, btf2[i], 0.25) << i;
+  }
+}
+
+TEST(Golden, Fig9Series) {
+  const auto rows = eval::fig9_energy_efficiency();
+  ASSERT_EQ(rows.size(), 5u);
+  const double fp16_btf1[] = {1.2, 2.0, 3.5, 6.2, 11.5};
+  const double fp32_dense[] = {19.9, 10.0, 5.0, 4.3, 8.6};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].fp16_vs_btf1, fp16_btf1[i], 0.15) << i;
+    EXPECT_NEAR(rows[i].fp32_vs_gpu_dense, fp32_dense[i], 0.25) << i;
+  }
+}
+
+TEST(Golden, Fig3Memory) {
+  const auto rows = eval::fig3_exec_mem();
+  const auto& last = rows.back();
+  ASSERT_EQ(last.seq_len, 16384);
+  EXPECT_NEAR(last.mem_gpu_dense.mebibytes(), 1040.0, 10.0);
+  EXPECT_NEAR(last.mem_gpu_chunks.mebibytes(), 79.0, 2.0);
+  EXPECT_NEAR(last.mem_swat_fp16.mebibytes(), 8.1, 0.3);
+}
+
+}  // namespace
+}  // namespace swat

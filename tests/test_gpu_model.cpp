@@ -1,0 +1,104 @@
+// Tests for the MI210 GPU baseline model (paper §5.4 / Fig. 3 behaviours).
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.hpp"
+
+namespace swat::baselines {
+namespace {
+
+TEST(GpuDense, FloorBelow4k) {
+  // Single-batch under-utilization: latency is flat at short lengths
+  // ("At short input length ... underutilization of the GPU", §5.4).
+  const GpuModel gpu;
+  const auto t512 = gpu.estimate(GpuKernel::kDense, 512).latency;
+  const auto t1k = gpu.estimate(GpuKernel::kDense, 1024).latency;
+  const auto t2k = gpu.estimate(GpuKernel::kDense, 2048).latency;
+  EXPECT_DOUBLE_EQ(t512.value, t1k.value);
+  EXPECT_DOUBLE_EQ(t1k.value, t2k.value);
+}
+
+TEST(GpuDense, QuadraticGrowthBeyond8k) {
+  // "as the input length reaches 4k, the GPU's execution time begins to
+  // rise sharply."
+  const GpuModel gpu;
+  const double t8k = gpu.estimate(GpuKernel::kDense, 8192).latency.value;
+  const double t16k = gpu.estimate(GpuKernel::kDense, 16384).latency.value;
+  EXPECT_NEAR(t16k / t8k, 4.0, 0.05);
+  // And 16k lands at the ~20 ms scale of Fig. 3.
+  EXPECT_GT(t16k, 0.015);
+  EXPECT_LT(t16k, 0.025);
+}
+
+TEST(GpuDense, MemoryIsQuadraticAndHitsGigabyteAt16k) {
+  // Fig. 3 right panel: ~1 GB per attention at 16k (the fp32 N^2 scores).
+  const GpuModel gpu;
+  const auto m16k = gpu.estimate(GpuKernel::kDense, 16384).peak_memory;
+  EXPECT_GT(m16k.mebibytes(), 950.0);
+  EXPECT_LT(m16k.mebibytes(), 1100.0);
+  const auto m8k = gpu.estimate(GpuKernel::kDense, 8192).peak_memory;
+  // Quadratic up to the (small) linear Q/K/V/Z term.
+  EXPECT_NEAR(m16k.mebibytes() / m8k.mebibytes(), 4.0, 0.1);
+}
+
+TEST(GpuChunks, MemoryIsLinear) {
+  // "the sliding chunks approach significantly reduces memory usage."
+  const GpuModel gpu;
+  const auto m8k = gpu.estimate(GpuKernel::kSlidingChunks, 8192).peak_memory;
+  const auto m16k =
+      gpu.estimate(GpuKernel::kSlidingChunks, 16384).peak_memory;
+  EXPECT_NEAR(m16k.mebibytes() / m8k.mebibytes(), 2.0, 0.1);
+  // Far below dense at 16k.
+  const auto dense = gpu.estimate(GpuKernel::kDense, 16384).peak_memory;
+  EXPECT_LT(m16k.mebibytes(), dense.mebibytes() / 8.0);
+}
+
+TEST(GpuChunks, TimeTracksDense) {
+  // "the computational time remains similar to the dense method" — within
+  // ~2x across the measured range.
+  const GpuModel gpu;
+  for (std::int64_t n : {512, 1024, 2048, 4096, 8192, 16384}) {
+    const double dense = gpu.estimate(GpuKernel::kDense, n).latency.value;
+    const double chunks =
+        gpu.estimate(GpuKernel::kSlidingChunks, n).latency.value;
+    EXPECT_GT(chunks, 0.4 * dense) << "n=" << n;
+    EXPECT_LT(chunks, 2.5 * dense) << "n=" << n;
+  }
+}
+
+TEST(GpuChunks, ExecutedFlopsCarryRedundancy) {
+  // Chunks execute ~2x the useful band FLOPs (50% redundancy) but far less
+  // than dense at long n.
+  const GpuModel gpu;
+  const double dense = gpu.executed_flops(GpuKernel::kDense, 16384);
+  const double chunks =
+      gpu.executed_flops(GpuKernel::kSlidingChunks, 16384);
+  EXPECT_LT(chunks, dense / 10.0);
+  // Useful band volume: n * 2w * (4h+5).
+  const double useful = 16384.0 * 512.0 * (4.0 * 64.0 + 5.0);
+  EXPECT_NEAR(chunks / useful, 2.0, 0.1);
+}
+
+TEST(GpuModel, EnergyIs300WattsTimesLatency) {
+  const GpuModel gpu;
+  const auto e = gpu.estimate(GpuKernel::kDense, 8192);
+  EXPECT_NEAR(e.energy.value, 300.0 * e.latency.value, 1e-12);
+}
+
+TEST(GpuModel, DenseLatencyAnchorAt8k) {
+  // Calibration anchor: ~5 ms at 8k (sets the 4.2x FP32 energy-efficiency
+  // minimum of Fig. 9).
+  const GpuModel gpu;
+  EXPECT_NEAR(gpu.estimate(GpuKernel::kDense, 8192).latency.milliseconds(),
+              5.05, 0.3);
+}
+
+TEST(GpuModel, InvalidInputsThrow) {
+  const GpuModel gpu;
+  EXPECT_THROW(gpu.estimate(GpuKernel::kDense, 0), std::invalid_argument);
+  GpuModelConfig bad;
+  bad.head_dim = 0;
+  EXPECT_THROW(GpuModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::baselines

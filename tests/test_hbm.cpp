@@ -1,0 +1,42 @@
+// Tests for the off-chip traffic model.
+#include <gtest/gtest.h>
+
+#include "hw/hbm.hpp"
+
+namespace swat::hw {
+namespace {
+
+TEST(Hbm, TrafficAccumulates) {
+  HbmChannel ch;
+  ch.record_read(Bytes{1000});
+  ch.record_read(Bytes{24});
+  ch.record_write(Bytes{512});
+  EXPECT_EQ(ch.bytes_read().count, 1024u);
+  EXPECT_EQ(ch.bytes_written().count, 512u);
+  EXPECT_EQ(ch.total_traffic().count, 1536u);
+}
+
+TEST(Hbm, TransferTimeAtFullBandwidth) {
+  HbmSpec spec;
+  spec.bandwidth_gbps = 460.0;
+  HbmChannel ch(spec);
+  ch.record_read(Bytes{static_cast<std::uint64_t>(460e9)});
+  EXPECT_NEAR(ch.transfer_time().value, 1.0, 1e-9);
+}
+
+TEST(Hbm, AccessEnergyScalesWithTraffic) {
+  HbmSpec spec;
+  spec.pj_per_byte = 7.0;
+  HbmChannel ch(spec);
+  ch.record_write(Bytes::mebi(1));
+  EXPECT_NEAR(ch.access_energy().value, 1048576.0 * 7e-12, 1e-15);
+}
+
+TEST(Hbm, InvalidSpecThrows) {
+  HbmSpec spec;
+  spec.bandwidth_gbps = 0.0;
+  EXPECT_THROW(HbmChannel{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::hw

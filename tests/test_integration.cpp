@@ -1,0 +1,119 @@
+// End-to-end integration tests across library layers.
+#include <gtest/gtest.h>
+
+#include "attention/sliding_chunks.hpp"
+#include "attention/window.hpp"
+#include "baselines/gpu_model.hpp"
+#include "swat/analytic.hpp"
+#include "swat/functional_sim.hpp"
+#include "swat/power_model.hpp"
+#include "swat/timing_sim.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Integration, ThreeImplementationsOneAnswer) {
+  // Exact window attention, sliding chunks, and the SWAT functional
+  // simulator all compute the same mathematical object (up to the band
+  // convention and datapath precision).
+  Rng rng(1);
+  const std::int64_t n = 128;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+
+  // Symmetric-band pair: exact vs chunks.
+  const MatrixF exact = attn::window_attention(in, 8);
+  const auto chunks = attn::sliding_chunks_attention(in, 8);
+  swat::testing::expect_matrix_near(chunks.z, exact, 2e-5f,
+                                    "chunks vs exact");
+
+  // Hardware band pair: fp32 simulator vs band oracle.
+  SwatConfig cfg;
+  cfg.dtype = Dtype::kFp32;
+  cfg.head_dim = 8;
+  cfg.window_cores = 16;
+  const MatrixF hw = FunctionalSimulator(cfg).run(in).z;
+  swat::testing::expect_matrix_near(hw, attn::band_attention(in, 8, 7), 1e-4f,
+                                    "sim vs band oracle");
+}
+
+TEST(Integration, MultiHeadAttentionLayerThroughTheSimulator) {
+  // Run a 4-head layer head by head (how the hardware schedules heads) and
+  // check each against its oracle.
+  Rng rng(2);
+  SwatConfig cfg;
+  cfg.head_dim = 16;
+  cfg.window_cores = 32;
+  const FunctionalSimulator sim(cfg);
+  for (int head = 0; head < 4; ++head) {
+    const attn::HeadInput in = attn::random_head_input(96, 16, rng);
+    const auto res = sim.run(in);
+    swat::testing::expect_matrix_near(res.z,
+                                      attn::band_attention(in, 16, 15),
+                                      0.04f, "per-head output");
+  }
+}
+
+TEST(Integration, TimingAndTrafficConsistency) {
+  // The functional simulator's measured traffic must equal the analytic
+  // model's closed form for the pure window configuration.
+  Rng rng(3);
+  SwatConfig cfg;
+  cfg.head_dim = 8;
+  cfg.window_cores = 16;
+  const std::int64_t n = 192;
+  const attn::HeadInput in = attn::random_head_input(n, 8, rng);
+  const auto res = FunctionalSimulator(cfg).run(in);
+  const AnalyticModel model(cfg);
+  EXPECT_EQ(res.total_read().count + res.z_bytes_written.count,
+            model.head_traffic(n).count);
+}
+
+TEST(Integration, LatencyEnergyRollupForALongDocument) {
+  // A "document-scale" sanity check tying latency, power and energy
+  // together: 16k tokens, 12 heads x 8 layers, FP16.
+  const SwatConfig cfg = SwatConfig::longformer_512();
+  const AnalyticModel model(cfg);
+  const Seconds t = model.model_time(16384, 12, 8);
+  const Joules e = swat_model_energy(cfg, 16384, 12, 8);
+  // 96 heads x ~11 ms ~ 1.05 s.
+  EXPECT_NEAR(t.value, 1.05, 0.05);
+  // Energy = power x time, and power is in the calibrated band.
+  EXPECT_NEAR(e.value / t.value, swat_power(cfg).value, 1e-9);
+}
+
+TEST(Integration, TimingSimAgreesWithAnalyticOnBigBird) {
+  const SwatConfig cfg = SwatConfig::bigbird_512();
+  EXPECT_EQ(TimingSimulator(cfg).run(4096).total.count,
+            AnalyticModel(cfg).head_cycles(4096).count);
+}
+
+TEST(Integration, SwatBeatsGpuBeyond8kInLatency) {
+  // The scalability crossover of Fig. 3: by 16k+ SWAT FP16 outruns both
+  // GPU kernels.
+  const AnalyticModel swat(SwatConfig::longformer_512());
+  const baselines::GpuModel gpu;
+  const double t_swat = swat.head_time(16384).value;
+  EXPECT_LT(t_swat,
+            gpu.estimate(baselines::GpuKernel::kDense, 16384).latency.value);
+  EXPECT_LT(t_swat, gpu.estimate(baselines::GpuKernel::kSlidingChunks, 16384)
+                        .latency.value);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  Rng rng1(7);
+  Rng rng2(7);
+  SwatConfig cfg;
+  cfg.head_dim = 8;
+  cfg.window_cores = 16;
+  cfg.global_cores = 8;
+  cfg.random_cores = 8;
+  const attn::HeadInput a = attn::random_head_input(64, 8, rng1);
+  const attn::HeadInput b = attn::random_head_input(64, 8, rng2);
+  swat::testing::expect_matrix_equal(FunctionalSimulator(cfg).run(a).z,
+                                     FunctionalSimulator(cfg).run(b).z,
+                                     "determinism");
+}
+
+}  // namespace
+}  // namespace swat

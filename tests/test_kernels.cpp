@@ -1,0 +1,131 @@
+// Tests for the dense host kernels (the oracles' oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Matmul, SmallKnown) {
+  MatrixF a(2, 3);
+  MatrixF b(3, 2);
+  float va = 1.0f;
+  for (float& v : a.flat()) v = va++;
+  float vb = 1.0f;
+  for (float& v : b.flat()) v = vb++;
+  const MatrixF c = matmul(a, b);
+  // a = [1 2 3; 4 5 6], b = [1 2; 3 4; 5 6] -> c = [22 28; 49 64]
+  EXPECT_FLOAT_EQ(c(0, 0), 22.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 28.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 49.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 64.0f);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  MatrixF a(2, 3);
+  MatrixF b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, NtEquivalentToExplicitTranspose) {
+  Rng rng(5);
+  const MatrixF a = random_normal(7, 5, rng);
+  const MatrixF b = random_normal(9, 5, rng);
+  const MatrixF direct = matmul_nt(a, b);
+  const MatrixF via_t = matmul(a, transpose(b));
+  swat::testing::expect_matrix_near(direct, via_t, 1e-5f, "nt vs transpose");
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(6);
+  const MatrixF a = random_normal(4, 9, rng);
+  swat::testing::expect_matrix_equal(transpose(transpose(a)), a);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  MatrixF m = random_normal(20, 33, rng, 3.0);
+  row_softmax_stable(m);
+  for (std::int64_t i = 0; i < m.rows(); ++i) {
+    float sum = 0.0f;
+    for (float v : m.row(i)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableMatchesNaiveOnSmallScores) {
+  Rng rng(8);
+  MatrixF a = random_normal(10, 16, rng, 1.0);
+  MatrixF b = a;
+  row_softmax_stable(a);
+  row_softmax_naive(b);
+  swat::testing::expect_matrix_near(a, b, 1e-6f, "stable vs naive");
+}
+
+TEST(Softmax, StableSurvivesLargeScores) {
+  MatrixF m(1, 3);
+  m(0, 0) = 200.0f;  // exp(200) overflows float
+  m(0, 1) = 199.0f;
+  m(0, 2) = 100.0f;
+  row_softmax_stable(m);
+  EXPECT_NEAR(m(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+  EXPECT_NEAR(m(0, 1), std::exp(-1.0f) / (1.0f + std::exp(-1.0f)), 1e-5f);
+  EXPECT_NEAR(m(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Rng rng(9);
+  MatrixF a = random_normal(5, 8, rng);
+  MatrixF b = a;
+  for (float& v : b.flat()) v += 10.0f;  // same shift to every row
+  row_softmax_stable(a);
+  row_softmax_stable(b);
+  swat::testing::expect_matrix_near(a, b, 1e-5f, "shift invariance");
+}
+
+TEST(DotAxpy, Basics) {
+  const std::vector<float> x{1.0f, 2.0f, 3.0f};
+  const std::vector<float> y{4.0f, 5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(x, y), 32.0f);
+  std::vector<float> acc{1.0f, 1.0f, 1.0f};
+  axpy(2.0f, x, acc);
+  EXPECT_FLOAT_EQ(acc[0], 3.0f);
+  EXPECT_FLOAT_EQ(acc[2], 7.0f);
+}
+
+TEST(ErrorMetrics, MaxAbsDiffAndRelError) {
+  MatrixF a(1, 2);
+  MatrixF b(1, 2);
+  a(0, 0) = 1.0f;
+  a(0, 1) = 2.0f;
+  b(0, 0) = 1.5f;
+  b(0, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_NEAR(relative_error(a, b), 0.5 / std::sqrt(1.5 * 1.5 + 4.0), 1e-6);
+  EXPECT_DOUBLE_EQ(relative_error(b, b), 0.0);
+}
+
+TEST(ErrorMetrics, RowCosine) {
+  MatrixF a(2, 2);
+  a(0, 0) = 1.0f;
+  a(0, 1) = 0.0f;
+  a(1, 0) = 0.0f;
+  a(1, 1) = 2.0f;
+  MatrixF b = a;
+  EXPECT_NEAR(mean_row_cosine(a, b), 1.0, 1e-9);
+  // Orthogonal rows -> cosine 0.
+  MatrixF c(1, 2);
+  c(0, 0) = 1.0f;
+  MatrixF d(1, 2);
+  d(0, 1) = 1.0f;
+  EXPECT_NEAR(mean_row_cosine(c, d), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace swat

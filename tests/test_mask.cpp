@@ -1,0 +1,171 @@
+// Tests for the static sparse-pattern construction (window/global/random).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attention/mask.hpp"
+
+namespace swat::attn {
+namespace {
+
+TEST(PatternSpec, LongformerBandWidth) {
+  const PatternSpec s = PatternSpec::longformer(1024, 64);
+  EXPECT_EQ(s.window_before, 64);
+  EXPECT_EQ(s.window_after, 64);
+  EXPECT_EQ(s.band_tokens(), 129);
+  EXPECT_EQ(s.num_random_tokens, 0);
+}
+
+TEST(PatternSpec, SwatBandExactTokens) {
+  const PatternSpec s = PatternSpec::swat_band(4096, 512);
+  EXPECT_EQ(s.window_before, 256);
+  EXPECT_EQ(s.window_after, 255);
+  EXPECT_EQ(s.band_tokens(), 512);
+  // Odd budgets work too.
+  const PatternSpec odd = PatternSpec::swat_band(4096, 7);
+  EXPECT_EQ(odd.band_tokens(), 7);
+}
+
+TEST(Pattern, InteriorRowAttendsFullBand) {
+  const AttentionPattern p(PatternSpec::longformer(256, 8));
+  const auto& row = p.row(100);
+  ASSERT_EQ(row.size(), 17u);  // 2w + 1
+  EXPECT_EQ(row.front().col, 92);
+  EXPECT_EQ(row.back().col, 108);
+  for (const auto& t : row) {
+    EXPECT_EQ(t.component, PatternComponent::kWindow);
+  }
+}
+
+TEST(Pattern, EdgeRowsAreClipped) {
+  const AttentionPattern p(PatternSpec::longformer(256, 8));
+  EXPECT_EQ(p.row(0).size(), 9u);          // self + 8 after
+  EXPECT_EQ(p.row(255).size(), 9u);        // 8 before + self
+  EXPECT_EQ(p.row(0).front().col, 0);
+  EXPECT_EQ(p.row(255).back().col, 255);
+}
+
+TEST(Pattern, AttendsLookup) {
+  const AttentionPattern p(PatternSpec::longformer(128, 4));
+  EXPECT_TRUE(p.attends(50, 50));
+  EXPECT_TRUE(p.attends(50, 46));
+  EXPECT_TRUE(p.attends(50, 54));
+  EXPECT_FALSE(p.attends(50, 45));
+  EXPECT_FALSE(p.attends(50, 55));
+  EXPECT_THROW(p.attends(50, 128), std::invalid_argument);
+}
+
+TEST(Pattern, GlobalTokensAttendedByAll) {
+  const AttentionPattern p(PatternSpec::longformer(256, 4, 3));
+  ASSERT_EQ(p.global_tokens().size(), 3u);
+  for (std::int64_t i = 0; i < 256; ++i) {
+    for (std::int64_t g = 0; g < 3; ++g) {
+      EXPECT_TRUE(p.attends(i, g)) << "row " << i << " global " << g;
+    }
+  }
+}
+
+TEST(Pattern, SymmetricGlobalRowsAttendEverything) {
+  PatternSpec s = PatternSpec::longformer(128, 4, 2);
+  ASSERT_TRUE(s.symmetric_global);
+  const AttentionPattern p(s);
+  EXPECT_EQ(p.row(0).size(), 128u);
+  EXPECT_EQ(p.row(1).size(), 128u);
+  EXPECT_LT(p.row(5).size(), 128u);
+}
+
+TEST(Pattern, HardwareGlobalRowsStayBanded) {
+  PatternSpec s = PatternSpec::longformer(128, 4, 2);
+  s.symmetric_global = false;
+  const AttentionPattern p(s);
+  // Row 0 attends its clipped band + globals only.
+  EXPECT_LT(p.row(0).size(), 10u);
+}
+
+TEST(Pattern, RandomTokensPresentAndStatic) {
+  const PatternSpec s = PatternSpec::bigbird(512, 8, 16, 0);
+  const AttentionPattern p1(s);
+  const AttentionPattern p2(s);
+  // Static: two constructions with the same seed agree.
+  for (std::int64_t i = 0; i < 512; i += 37) {
+    EXPECT_EQ(p1.row(i), p2.row(i)) << "row " << i;
+  }
+  // Row has its band plus (up to) 16 randoms; duplicates deduped.
+  const auto& row = p1.row(256);
+  EXPECT_GE(row.size(), 17u);
+  EXPECT_LE(row.size(), 17u + 16u);
+  std::set<std::int64_t> cols;
+  for (const auto& t : row) EXPECT_TRUE(cols.insert(t.col).second);
+}
+
+TEST(Pattern, DifferentSeedsGiveDifferentRandoms) {
+  PatternSpec a = PatternSpec::bigbird(512, 4, 8, 0);
+  PatternSpec b = a;
+  b.random_seed = 999;
+  const AttentionPattern pa(a);
+  const AttentionPattern pb(b);
+  int differing = 0;
+  for (std::int64_t i = 0; i < 512; i += 19) {
+    if (pa.row(i) != pb.row(i)) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Pattern, ComponentAttributionWindowWins) {
+  // A random/global token inside the band is attributed to the window.
+  PatternSpec s = PatternSpec::longformer(64, 8, 2);
+  s.symmetric_global = false;
+  const AttentionPattern p(s);
+  const auto& row = p.row(4);  // band [0, 12] includes globals 0 and 1
+  for (const auto& t : row) {
+    if (t.col <= 12) {
+      EXPECT_EQ(t.component, PatternComponent::kWindow);
+    }
+  }
+}
+
+TEST(Pattern, NnzAndDensity) {
+  const AttentionPattern p(PatternSpec::longformer(128, 4));
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < 128; ++i) {
+    expected += static_cast<std::int64_t>(p.row(i).size());
+  }
+  EXPECT_EQ(p.nnz(), expected);
+  EXPECT_NEAR(p.density(), static_cast<double>(expected) / (128.0 * 128.0),
+              1e-12);
+  // Window density is ~(2w+1)/n.
+  EXPECT_NEAR(p.density(), 9.0 / 128.0, 0.01);
+}
+
+TEST(Pattern, DenseMaskMatchesAttends) {
+  const AttentionPattern p(PatternSpec::bigbird(64, 3, 4, 2));
+  const auto mask = p.dense_mask();
+  for (std::int64_t i = 0; i < 64; ++i) {
+    for (std::int64_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(mask(i, j) != 0, p.attends(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Pattern, InvalidSpecsThrow) {
+  PatternSpec s;
+  s.seq_len = 0;
+  EXPECT_THROW(AttentionPattern{s}, std::invalid_argument);
+  s = PatternSpec::longformer(16, 2, 20);  // more globals than tokens
+  EXPECT_THROW(AttentionPattern{s}, std::invalid_argument);
+}
+
+TEST(Pattern, ZeroWindowStillAttendsSelf) {
+  PatternSpec s;
+  s.seq_len = 8;
+  s.window_before = 0;
+  s.window_after = 0;
+  const AttentionPattern p(s);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(p.row(i).size(), 1u);
+    EXPECT_EQ(p.row(i)[0].col, i);
+  }
+}
+
+}  // namespace
+}  // namespace swat::attn

@@ -1,0 +1,116 @@
+// Tests for the Matrix container and the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  MatrixF m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_FALSE(m.empty());
+  EXPECT_FLOAT_EQ(m(2, 3), 1.5f);
+  m(1, 2) = -2.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), -2.0f);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatrixF m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, BoundsChecked) {
+  MatrixF m(2, 2);
+  EXPECT_THROW(m(2, 0), std::invalid_argument);
+  EXPECT_THROW(m(0, 2), std::invalid_argument);
+  EXPECT_THROW(m(-1, 0), std::invalid_argument);
+  EXPECT_THROW(m.row(2), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpan) {
+  MatrixF m(2, 3);
+  for (std::int64_t j = 0; j < 3; ++j) m(1, j) = static_cast<float>(j);
+  auto r = m.row(1);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_FLOAT_EQ(r[2], 2.0f);
+  r[0] = 9.0f;
+  EXPECT_FLOAT_EQ(m(1, 0), 9.0f);
+}
+
+TEST(Matrix, Equality) {
+  MatrixF a(2, 2, 1.0f);
+  MatrixF b(2, 2, 1.0f);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RandomMatrix, NormalMoments) {
+  Rng rng(1);
+  const MatrixF m = random_normal(200, 50, rng, 2.0);
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : m.flat()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.2);
+}
+
+double row_autocorrelation(const MatrixF& m, std::int64_t lag) {
+  // Average correlation between token i and token i+lag across columns.
+  double num = 0.0, den = 0.0;
+  for (std::int64_t c = 0; c < m.cols(); ++c) {
+    for (std::int64_t r = 0; r + lag < m.rows(); ++r) {
+      num += static_cast<double>(m(r, c)) * m(r + lag, c);
+      den += static_cast<double>(m(r, c)) * m(r, c);
+    }
+  }
+  return num / den;
+}
+
+TEST(RandomMatrix, LocallyCorrelated1d) {
+  Rng rng(2);
+  const double corr_len = 8.0;
+  const MatrixF m = random_locally_correlated_1d(512, 64, rng, corr_len);
+  const double c1 = row_autocorrelation(m, 1);
+  const double c8 = row_autocorrelation(m, 8);
+  const double c64 = row_autocorrelation(m, 64);
+  // AR(1): corr(lag) = exp(-lag/corr_len).
+  EXPECT_NEAR(c1, std::exp(-1.0 / corr_len), 0.05);
+  EXPECT_NEAR(c8, std::exp(-1.0), 0.08);
+  EXPECT_LT(c64, 0.05);
+  EXPECT_GT(c1, c8);
+  EXPECT_GT(c8, c64);
+}
+
+TEST(RandomMatrix, LocallyCorrelated2dHasVerticalStructure) {
+  Rng rng(3);
+  const std::int64_t side = 32;
+  const MatrixF m =
+      random_locally_correlated_2d(side * side, 16, rng, 4.0);
+  // Tokens `side` apart are vertical grid neighbours: they must correlate
+  // much more strongly than in the 1-D stream, where lag-32 correlation
+  // has decayed to exp(-8) ~ 0.
+  const double vert = row_autocorrelation(m, side);
+  EXPECT_GT(vert, 0.3);
+  // Horizontal neighbours correlate too.
+  EXPECT_GT(row_autocorrelation(m, 1), 0.3);
+}
+
+TEST(RandomMatrix, 2dRequiresPerfectSquare) {
+  Rng rng(4);
+  EXPECT_THROW(random_locally_correlated_2d(1000, 4, rng, 4.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,213 @@
+// Tests for the host transformer stack and its SWAT attention backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/encoder.hpp"
+#include "tensor/kernels.hpp"
+#include "test_util.hpp"
+
+namespace swat::model {
+namespace {
+
+/// Small geometry so the dense-reference oracle stays fast: d_model 32,
+/// 4 heads of dim 8, 16-core SWAT band.
+EncoderConfig small_config(AttentionBackend backend) {
+  EncoderConfig cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 4;
+  cfg.ffn_mult = 2;
+  cfg.layers = 2;
+  cfg.backend = backend;
+  cfg.swat = SwatConfig();
+  cfg.swat.head_dim = 8;
+  cfg.swat.window_cores = 16;
+  return cfg;
+}
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  lin.weight()(0, 0) = 1.0f;
+  lin.weight()(0, 1) = 2.0f;
+  lin.weight()(0, 2) = 3.0f;
+  lin.weight()(1, 0) = -1.0f;
+  lin.weight()(1, 1) = 0.5f;
+  lin.weight()(1, 2) = 0.0f;
+  lin.bias() = {10.0f, -10.0f};
+  MatrixF x(1, 3);
+  x(0, 0) = 1.0f;
+  x(0, 1) = 1.0f;
+  x(0, 2) = 1.0f;
+  const MatrixF y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 16.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), -10.5f);
+}
+
+TEST(Linear, XavierInitBounded) {
+  Rng rng(2);
+  Linear lin(100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (float w : lin.weight().flat()) {
+    EXPECT_LE(std::abs(w), bound + 1e-6);
+  }
+  EXPECT_EQ(lin.parameters(), 100 * 100 + 100);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(3);
+  LayerNorm ln(16);
+  const MatrixF x = random_normal(8, 16, rng, 5.0);
+  const MatrixF y = ln.forward(x);
+  for (std::int64_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (float v : y.row(i)) mean += v;
+    mean /= 16.0;
+    for (float v : y.row(i)) var += (v - mean) * (v - mean);
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, AffineParametersApply) {
+  LayerNorm ln(4);
+  ln.gamma() = {2.0f, 2.0f, 2.0f, 2.0f};
+  ln.beta() = {1.0f, 1.0f, 1.0f, 1.0f};
+  MatrixF x(1, 4);
+  x(0, 0) = -1.0f;
+  x(0, 1) = 0.0f;
+  x(0, 2) = 0.0f;
+  x(0, 3) = 1.0f;
+  const MatrixF y = ln.forward(x);
+  // Mean 0, var 0.5 -> normalized {-sqrt2, 0, 0, sqrt2}; x2 + 1.
+  EXPECT_NEAR(y(0, 0), 1.0f - 2.0f * std::sqrt(2.0f), 1e-4f);
+  EXPECT_NEAR(y(0, 1), 1.0f, 1e-5f);
+  EXPECT_NEAR(y(0, 3), 1.0f + 2.0f * std::sqrt(2.0f), 1e-4f);
+}
+
+TEST(Gelu, KnownValues) {
+  EXPECT_NEAR(gelu(0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(gelu(1.0f), 0.8412f, 1e-3f);
+  EXPECT_NEAR(gelu(-1.0f), -0.1588f, 1e-3f);
+  EXPECT_GT(gelu(10.0f), 9.99f);  // ~identity for large x
+  EXPECT_NEAR(gelu(-10.0f), 0.0f, 1e-4f);
+}
+
+TEST(Mha, BackendsAgreeWhenWindowCoversSequence) {
+  // With seq_len <= window_after + 1 every row's band covers the whole
+  // sequence, so window attention == dense attention; all three backends
+  // must produce the same layer output (SWAT within fp16).
+  Rng rng(4);
+  const std::int64_t n = 8;  // band is [i-8, i+7] for the 16-core config
+  const MatrixF x = random_normal(n, 32, rng);
+  const EncoderConfig base = small_config(AttentionBackend::kDenseReference);
+
+  Rng wrng1(99), wrng2(99), wrng3(99);
+  MultiHeadAttention dense(32, 4, AttentionBackend::kDenseReference,
+                           base.swat, wrng1);
+  MultiHeadAttention window(32, 4, AttentionBackend::kWindowExact, base.swat,
+                            wrng2);
+  MultiHeadAttention sim(32, 4, AttentionBackend::kSwatSimulator, base.swat,
+                         wrng3);
+
+  const MatrixF yd = dense.forward(x);
+  const MatrixF yw = window.forward(x);
+  const MatrixF ys = sim.forward(x);
+  swat::testing::expect_matrix_near(yw, yd, 1e-4f, "window vs dense");
+  swat::testing::expect_matrix_near(ys, yd, 0.15f, "swat sim vs dense");
+}
+
+TEST(Mha, SwatBackendTracksWindowBackend) {
+  Rng rng(5);
+  const MatrixF x = random_normal(64, 32, rng);
+  const EncoderConfig base = small_config(AttentionBackend::kWindowExact);
+  Rng wrng1(7), wrng2(7);
+  MultiHeadAttention window(32, 4, AttentionBackend::kWindowExact, base.swat,
+                            wrng1);
+  MultiHeadAttention sim(32, 4, AttentionBackend::kSwatSimulator, base.swat,
+                         wrng2);
+  const MatrixF yw = window.forward(x);
+  const MatrixF ys = sim.forward(x);
+  // The only difference is the fp16 datapath.
+  swat::testing::expect_matrix_near(ys, yw, 0.15f, "swat vs window layer");
+  EXPECT_GT(mean_row_cosine(ys, yw), 0.999);
+}
+
+TEST(Mha, StatsTrackTrafficAndHeads) {
+  Rng rng(6);
+  const std::int64_t n = 48;
+  const MatrixF x = random_normal(n, 32, rng);
+  const EncoderConfig base = small_config(AttentionBackend::kSwatSimulator);
+  Rng wrng(8);
+  MultiHeadAttention sim(32, 4, AttentionBackend::kSwatSimulator, base.swat,
+                         wrng);
+  (void)sim.forward(x);
+  const AttentionStats& s = sim.last_stats();
+  EXPECT_EQ(s.heads_run, 4);
+  // 4 heads x (Q + K + V + Z) x n x 8 dims x 2 bytes.
+  EXPECT_EQ(s.swat_offchip_traffic.count, 4ull * 4 * n * 8 * 2);
+  EXPECT_EQ(s.swat_core_loads, 4 * n);
+}
+
+TEST(Mha, RejectsMismatchedHeadDim) {
+  Rng rng(9);
+  SwatConfig bad;
+  bad.head_dim = 16;  // d_model/heads = 8
+  bad.window_cores = 16;
+  EXPECT_THROW(MultiHeadAttention(32, 4, AttentionBackend::kWindowExact, bad,
+                                  rng),
+               std::invalid_argument);
+}
+
+TEST(Encoder, ForwardShapesAndDeterminism) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const Encoder enc(cfg);
+  Rng rng(10);
+  const MatrixF x = random_normal(40, 32, rng);
+  const MatrixF y1 = enc.forward(x);
+  const MatrixF y2 = enc.forward(x);
+  EXPECT_EQ(y1.rows(), 40);
+  EXPECT_EQ(y1.cols(), 32);
+  swat::testing::expect_matrix_equal(y1, y2, "determinism");
+}
+
+TEST(Encoder, ParameterCount) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const Encoder enc(cfg);
+  // Per layer: 4 x (32x32 + 32) attention + ffn (32x64 + 64) + (64x32 + 32)
+  // + 2 x layernorm (2 x 32).
+  const std::int64_t mha = 4 * (32 * 32 + 32);
+  const std::int64_t ffn = (32 * 64 + 64) + (64 * 32 + 32);
+  const std::int64_t norms = 2 * 64;
+  EXPECT_EQ(enc.parameters(), 2 * (mha + ffn + norms));
+}
+
+TEST(Encoder, SwatBackendStaysCloseToHostBackendOverDepth) {
+  EncoderConfig host_cfg = small_config(AttentionBackend::kWindowExact);
+  EncoderConfig swat_cfg = small_config(AttentionBackend::kSwatSimulator);
+  host_cfg.weight_seed = swat_cfg.weight_seed = 42;
+  const Encoder host(host_cfg);
+  const Encoder accel(swat_cfg);
+  Rng rng(11);
+  const MatrixF x = random_normal(64, 32, rng);
+  const MatrixF yh = host.forward(x);
+  const MatrixF ya = accel.forward(x);
+  // fp16 error compounds over layers but layer norms keep it bounded.
+  EXPECT_GT(mean_row_cosine(ya, yh), 0.99);
+  EXPECT_GT(accel.last_swat_traffic().count, 0u);
+  EXPECT_EQ(host.last_swat_traffic().count, 0u);
+}
+
+TEST(Encoder, LongformerBaseFactory) {
+  const EncoderConfig cfg =
+      EncoderConfig::longformer_base(AttentionBackend::kWindowExact);
+  EXPECT_EQ(cfg.d_model, 768);
+  EXPECT_EQ(cfg.num_heads, 12);
+  EXPECT_EQ(cfg.layers, 8);
+  EXPECT_EQ(cfg.swat.head_dim, 64);
+  EXPECT_EQ(cfg.swat.window_cores, 512);
+}
+
+}  // namespace
+}  // namespace swat::model

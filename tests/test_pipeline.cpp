@@ -1,0 +1,70 @@
+// Tests for the coarse-grained pipeline model.
+#include <gtest/gtest.h>
+
+#include "hw/pipeline.hpp"
+
+namespace swat::hw {
+namespace {
+
+PipelineModel linear_3stage() {
+  return PipelineModel({
+      {"A", Cycles{10}, -1},
+      {"B", Cycles{30}, -1},
+      {"C", Cycles{20}, -1},
+  });
+}
+
+TEST(Pipeline, IiIsSlowestStage) {
+  EXPECT_EQ(linear_3stage().row_initiation_interval().count, 30u);
+}
+
+TEST(Pipeline, FillIsSumOfStageLatencies) {
+  EXPECT_EQ(linear_3stage().fill_latency().count, 60u);
+  EXPECT_EQ(linear_3stage().depth(), 3);
+}
+
+TEST(Pipeline, TotalCyclesClosedForm) {
+  const auto p = linear_3stage();
+  EXPECT_EQ(p.total_cycles(1).count, 60u);
+  EXPECT_EQ(p.total_cycles(10).count, 60u + 9u * 30u);
+  EXPECT_THROW(p.total_cycles(0), std::invalid_argument);
+}
+
+TEST(Pipeline, ParallelGroupCountsOnceAtMaxLatency) {
+  const PipelineModel p({
+      {"A", Cycles{10}, -1},
+      {"B1", Cycles{25}, 0},
+      {"B2", Cycles{15}, 0},
+      {"C", Cycles{20}, -1},
+  });
+  EXPECT_EQ(p.depth(), 3);
+  EXPECT_EQ(p.fill_latency().count, 10u + 25u + 20u);
+  EXPECT_EQ(p.row_initiation_interval().count, 25u);
+}
+
+TEST(Pipeline, TwoSeparateParallelGroups) {
+  const PipelineModel p({
+      {"A", Cycles{5}, -1},
+      {"B1", Cycles{9}, 0},
+      {"B2", Cycles{7}, 0},
+      {"C1", Cycles{4}, 1},
+      {"C2", Cycles{11}, 1},
+  });
+  EXPECT_EQ(p.depth(), 3);
+  EXPECT_EQ(p.fill_latency().count, 5u + 9u + 11u);
+}
+
+TEST(Pipeline, StageUtilization) {
+  const auto p = linear_3stage();
+  EXPECT_DOUBLE_EQ(p.stage_utilization(0), 10.0 / 30.0);
+  EXPECT_DOUBLE_EQ(p.stage_utilization(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.stage_utilization(2), 20.0 / 30.0);
+  EXPECT_THROW(p.stage_utilization(3), std::invalid_argument);
+}
+
+TEST(Pipeline, EmptyThrows) {
+  EXPECT_THROW(PipelineModel({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::hw

@@ -1,0 +1,96 @@
+// Tests for the generic XPE-style power model.
+#include <gtest/gtest.h>
+
+#include "hw/power.hpp"
+
+namespace swat::hw {
+namespace {
+
+PowerCoefficients coeff() {
+  PowerCoefficients c;
+  c.static_power = Watts{5.0};
+  c.reference_clock = Hertz::mega(300.0);
+  c.dsp_mw = 2.0;
+  c.lut_mw = 0.01;
+  c.ff_mw = 0.005;
+  c.bram_mw = 4.0;
+  c.hbm_w_per_gbps = 0.01;
+  return c;
+}
+
+TEST(Power, StaticOnlyWhenIdle) {
+  const ResourceVector used{.dsp = 100, .lut = 1000, .ff = 1000, .bram = 10,
+                            .uram = 0};
+  Activity idle;
+  idle.dsp_toggle = idle.lut_toggle = idle.ff_toggle = idle.bram_toggle = 0.0;
+  idle.hbm_gbps = 0.0;
+  const Watts p = estimate_power(coeff(), used, Hertz::mega(300.0), idle);
+  EXPECT_DOUBLE_EQ(p.value, 5.0);
+}
+
+TEST(Power, DynamicScalesWithResources) {
+  Activity act;
+  act.dsp_toggle = 1.0;
+  act.lut_toggle = act.ff_toggle = act.bram_toggle = 0.0;
+  act.hbm_gbps = 0.0;
+  const ResourceVector one{.dsp = 1000, .lut = 0, .ff = 0, .bram = 0,
+                           .uram = 0};
+  const ResourceVector two{.dsp = 2000, .lut = 0, .ff = 0, .bram = 0,
+                           .uram = 0};
+  const double p1 =
+      estimate_power(coeff(), one, Hertz::mega(300.0), act).value - 5.0;
+  const double p2 =
+      estimate_power(coeff(), two, Hertz::mega(300.0), act).value - 5.0;
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+  EXPECT_NEAR(p1, 2.0, 1e-12);  // 1000 DSP x 2 mW
+}
+
+TEST(Power, DynamicScalesWithFrequency) {
+  Activity act;
+  act.dsp_toggle = 1.0;
+  act.lut_toggle = act.ff_toggle = act.bram_toggle = 0.0;
+  const ResourceVector used{.dsp = 1000, .lut = 0, .ff = 0, .bram = 0,
+                            .uram = 0};
+  const double at300 =
+      estimate_power(coeff(), used, Hertz::mega(300.0), act).value - 5.0;
+  const double at150 =
+      estimate_power(coeff(), used, Hertz::mega(150.0), act).value - 5.0;
+  EXPECT_NEAR(at150, at300 / 2.0, 1e-12);
+}
+
+TEST(Power, ToggleRateScalesLinearly) {
+  const ResourceVector used{.dsp = 0, .lut = 100000, .ff = 0, .bram = 0,
+                            .uram = 0};
+  Activity half;
+  half.lut_toggle = 0.5;
+  half.dsp_toggle = half.ff_toggle = half.bram_toggle = 0.0;
+  Activity full = half;
+  full.lut_toggle = 1.0;
+  const double ph =
+      estimate_power(coeff(), used, Hertz::mega(300.0), half).value - 5.0;
+  const double pf =
+      estimate_power(coeff(), used, Hertz::mega(300.0), full).value - 5.0;
+  EXPECT_NEAR(pf, 2.0 * ph, 1e-12);
+}
+
+TEST(Power, HbmTermIndependentOfClock) {
+  Activity act;
+  act.dsp_toggle = act.lut_toggle = act.ff_toggle = act.bram_toggle = 0.0;
+  act.hbm_gbps = 100.0;
+  const ResourceVector none{};
+  const double a =
+      estimate_power(coeff(), none, Hertz::mega(300.0), act).value;
+  const double b =
+      estimate_power(coeff(), none, Hertz::mega(100.0), act).value;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(a, 5.0 + 1.0, 1e-12);
+}
+
+TEST(Power, InvalidClockThrows) {
+  Activity act;
+  EXPECT_THROW(estimate_power(coeff(), ResourceVector{}, Hertz{0.0}, act),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::hw

@@ -1,0 +1,59 @@
+// Tests for the SWAT power/energy model.
+#include <gtest/gtest.h>
+
+#include "swat/power_model.hpp"
+
+namespace swat {
+namespace {
+
+TEST(PowerModel, Fp16NearCalibratedLevel) {
+  // The calibration targets ~27 W for the FP16 512-core build (see
+  // eval/calibration.hpp) — allow a band so constant tweaks that keep the
+  // energy anchors intact do not break this test.
+  const Watts p = swat_power(SwatConfig::longformer_512());
+  EXPECT_GT(p.value, 20.0);
+  EXPECT_LT(p.value, 35.0);
+}
+
+TEST(PowerModel, Fp32NearCalibratedLevel) {
+  const Watts p = swat_power(SwatConfig::longformer_512(Dtype::kFp32));
+  EXPECT_GT(p.value, 40.0);
+  EXPECT_LT(p.value, 60.0);
+}
+
+TEST(PowerModel, OrderingAcrossConfigs) {
+  const double fp16 = swat_power(SwatConfig::longformer_512()).value;
+  const double fp32 =
+      swat_power(SwatConfig::longformer_512(Dtype::kFp32)).value;
+  const double bigbird = swat_power(SwatConfig::bigbird_512()).value;
+  const double dual = swat_power(SwatConfig::bigbird_dual_512()).value;
+  EXPECT_GT(fp32, fp16);       // wider datapath burns more
+  EXPECT_LT(bigbird, fp16 + 1.0);  // slightly fewer LUTs, extra HBM traffic
+  EXPECT_GT(dual, 1.6 * bigbird);  // two pipelines, shared static power
+  EXPECT_LT(dual, 2.0 * bigbird);
+}
+
+TEST(PowerModel, HeadEnergyScalesLinearlyWithLength) {
+  const SwatConfig cfg = SwatConfig::longformer_512();
+  const double e4k = swat_head_energy(cfg, 4096).value;
+  const double e8k = swat_head_energy(cfg, 8192).value;
+  EXPECT_NEAR(e8k / e4k, 2.0, 0.01);
+}
+
+TEST(PowerModel, ModelEnergyComposition) {
+  const SwatConfig cfg = SwatConfig::longformer_512();
+  const double head = swat_head_energy(cfg, 2048).value;
+  const double model = swat_model_energy(cfg, 2048, 12, 8).value;
+  EXPECT_NEAR(model, head * 96.0, 1e-9);
+}
+
+TEST(PowerModel, EnergyPerHeadMagnitude) {
+  // FP16 @ 16k: ~27 W x ~11 ms ~ 0.3 J per head.
+  const double e =
+      swat_head_energy(SwatConfig::longformer_512(), 16384).value;
+  EXPECT_GT(e, 0.15);
+  EXPECT_LT(e, 0.6);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,184 @@
+// Parameterized property sweeps (TEST_P) across configuration grids.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "attention/fused.hpp"
+#include "attention/window.hpp"
+#include "swat/analytic.hpp"
+#include "swat/functional_sim.hpp"
+#include "swat/timing_sim.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: the functional simulator matches the fp32 masked oracle for any
+// (dtype, seq_len, core-split) combination.
+// ---------------------------------------------------------------------------
+
+struct SimGridParam {
+  Dtype dtype;
+  std::int64_t seq_len;
+  std::int64_t window_cores;
+  std::int64_t global_cores;
+  std::int64_t random_cores;
+  std::int64_t dilation = 1;
+  BandSplit split = BandSplit::kCentered;
+};
+
+class FunctionalSimGrid : public ::testing::TestWithParam<SimGridParam> {};
+
+TEST_P(FunctionalSimGrid, MatchesMaskedOracle) {
+  const SimGridParam p = GetParam();
+  SwatConfig cfg;
+  cfg.dtype = p.dtype;
+  cfg.head_dim = 8;
+  cfg.window_cores = p.window_cores;
+  cfg.global_cores = p.global_cores;
+  cfg.random_cores = p.random_cores;
+  cfg.window_dilation = p.dilation;
+  cfg.band_split = p.split;
+
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(p.seq_len * p.dilation));
+  const attn::HeadInput in = attn::random_head_input(p.seq_len, 8, rng);
+  const auto res = FunctionalSimulator(cfg).run(in);
+  const attn::AttentionPattern pattern(cfg.pattern_spec(p.seq_len));
+  const MatrixF oracle = attn::masked_attention(in, pattern);
+  const float tol = p.dtype == Dtype::kFp16 ? 0.05f : 2e-4f;
+  swat::testing::expect_matrix_near(res.z, oracle, tol, "grid oracle");
+
+  // Invariant: attended pairs equal pattern nonzeros.
+  EXPECT_EQ(res.attended_pairs, pattern.nnz());
+  // Invariant: window rows stream exactly once.
+  EXPECT_EQ(res.window_core_loads, p.seq_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FunctionalSimGrid,
+    ::testing::Values(
+        SimGridParam{Dtype::kFp16, 40, 16, 0, 0},
+        SimGridParam{Dtype::kFp16, 128, 16, 0, 0},
+        SimGridParam{Dtype::kFp16, 96, 16, 8, 0},
+        SimGridParam{Dtype::kFp16, 96, 16, 0, 8},
+        SimGridParam{Dtype::kFp16, 96, 16, 4, 4},
+        SimGridParam{Dtype::kFp16, 200, 24, 8, 8},
+        SimGridParam{Dtype::kFp32, 128, 16, 0, 0},
+        SimGridParam{Dtype::kFp32, 96, 16, 4, 4},
+        SimGridParam{Dtype::kFp32, 200, 24, 8, 8},
+        SimGridParam{Dtype::kFp16, 128, 16, 0, 0, 2},
+        SimGridParam{Dtype::kFp16, 128, 16, 0, 0, 4},
+        SimGridParam{Dtype::kFp32, 160, 16, 4, 4, 2},
+        SimGridParam{Dtype::kFp16, 128, 16, 0, 0, 1, BandSplit::kCausal},
+        SimGridParam{Dtype::kFp16, 160, 16, 8, 0, 2, BandSplit::kCausal},
+        SimGridParam{Dtype::kFp32, 96, 16, 0, 0, 1, BandSplit::kCausal}));
+
+// ---------------------------------------------------------------------------
+// Property: timing simulator == analytic closed form over the whole grid.
+// ---------------------------------------------------------------------------
+
+using TimingGridParam =
+    std::tuple<Dtype, std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+
+class TimingGrid : public ::testing::TestWithParam<TimingGridParam> {};
+
+TEST_P(TimingGrid, SimEqualsClosedForm) {
+  const auto& [dtype, head_dim, window_cores, random_cores, seq_len] =
+      GetParam();
+  SwatConfig cfg;
+  cfg.dtype = dtype;
+  cfg.head_dim = head_dim;
+  cfg.window_cores = window_cores;
+  cfg.random_cores = random_cores;
+  if (cfg.cores_per_pipeline() % cfg.head_dim != 0) {
+    GTEST_SKIP() << "core count not a multiple of H";
+  }
+  EXPECT_EQ(TimingSimulator(cfg).run(seq_len).total.count,
+            AnalyticModel(cfg).head_cycles(seq_len).count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimingGrid,
+    ::testing::Combine(::testing::Values(Dtype::kFp16, Dtype::kFp32),
+                       ::testing::Values<std::int64_t>(32, 64, 128),
+                       ::testing::Values<std::int64_t>(256, 512),
+                       ::testing::Values<std::int64_t>(0, 128),
+                       ::testing::Values<std::int64_t>(3, 257, 1024)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Dtype::kFp16 ? "fp16"
+                                                                 : "fp32") +
+             "_h" + std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param)) + "_r" +
+             std::to_string(std::get<3>(info.param)) + "_n" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: fused fp16 kernel == cycle-exact simulator, bit for bit, over
+// window radii and sequence lengths.
+// ---------------------------------------------------------------------------
+
+class BitExactGrid
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(BitExactGrid, HostKernelVsSimulator) {
+  const auto [radius, seq_len] = GetParam();
+  SwatConfig cfg;
+  cfg.dtype = Dtype::kFp16;
+  cfg.head_dim = 8;
+  cfg.window_cores = 2 * radius;
+  if (cfg.cores_per_pipeline() % cfg.head_dim != 0) {
+    GTEST_SKIP() << "core count not a multiple of H";
+  }
+  Rng rng(0xBEEF ^ static_cast<std::uint64_t>(radius * 1000 + seq_len));
+  const attn::HeadInput in = attn::random_head_input(seq_len, 8, rng);
+  const MatrixF sim = FunctionalSimulator(cfg).run(in).z;
+  const MatrixF host = attn::fused_window_attention_fp16(in, radius);
+  swat::testing::expect_matrix_equal(sim, host, "bit-exact grid");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BitExactGrid,
+    ::testing::Combine(::testing::Values<std::int64_t>(4, 8, 16),
+                       ::testing::Values<std::int64_t>(16, 64, 160)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: banded attention equals masked-pattern attention for arbitrary
+// asymmetric bands.
+// ---------------------------------------------------------------------------
+
+class BandGrid
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(BandGrid, BandEqualsMaskedPattern) {
+  const auto [before, after] = GetParam();
+  Rng rng(0xABCD ^ static_cast<std::uint64_t>(before * 100 + after));
+  const attn::HeadInput in = attn::random_head_input(80, 8, rng);
+  attn::PatternSpec spec;
+  spec.seq_len = 80;
+  spec.window_before = before;
+  spec.window_after = after;
+  const attn::AttentionPattern pattern(spec);
+  swat::testing::expect_matrix_near(attn::band_attention(in, before, after),
+                                    attn::masked_attention(in, pattern),
+                                    2e-5f, "band grid");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BandGrid,
+    ::testing::Combine(::testing::Values<std::int64_t>(0, 1, 5, 13),
+                       ::testing::Values<std::int64_t>(0, 1, 5, 13)),
+    [](const auto& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace swat

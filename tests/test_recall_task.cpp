@@ -1,0 +1,109 @@
+// Tests for the associative-recall accuracy proxy.
+#include <gtest/gtest.h>
+
+#include "attention/recall_task.hpp"
+
+namespace swat::attn {
+namespace {
+
+RecallTaskConfig task(std::int64_t n, std::int64_t min_d, std::int64_t max_d,
+                      std::uint64_t seed = 1) {
+  RecallTaskConfig cfg;
+  cfg.seq_len = n;
+  cfg.key_dim = 32;
+  cfg.num_queries = 64;
+  cfg.min_distance = min_d;
+  cfg.max_distance = max_d;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RecallTask, DenseAttentionRetrievesEverything) {
+  const auto res = recall_accuracy_dense(task(1024, 1, 1 << 20));
+  EXPECT_DOUBLE_EQ(res.reachable_fraction, 1.0);
+  EXPECT_GT(res.accuracy, 0.97);  // random-key collisions are rare
+}
+
+TEST(RecallTask, WindowPerfectWithinBand) {
+  // All targets within 64 tokens, window radius 128: everything reachable.
+  const auto cfg = task(1024, 1, 64);
+  const AttentionPattern window(PatternSpec::longformer(1024, 128));
+  const auto res = recall_accuracy(window, cfg);
+  EXPECT_DOUBLE_EQ(res.reachable_fraction, 1.0);
+  EXPECT_GT(res.accuracy, 0.97);
+}
+
+TEST(RecallTask, WindowFailsBeyondBand) {
+  // All targets at least 256 tokens away, window radius 128: nothing
+  // reachable through the band.
+  const auto cfg = task(2048, 256, 1024);
+  const AttentionPattern window(PatternSpec::longformer(2048, 128));
+  const auto res = recall_accuracy(window, cfg);
+  EXPECT_DOUBLE_EQ(res.reachable_fraction, 0.0);
+  EXPECT_LT(res.accuracy, 0.02);
+}
+
+TEST(RecallTask, BigbirdRandomTokensRecoverDistantTargets) {
+  const auto cfg = task(2048, 256, 1024);
+  const AttentionPattern window(PatternSpec::longformer(2048, 128));
+  const AttentionPattern bigbird(
+      PatternSpec::bigbird(2048, 128, /*n_random=*/128, /*n_global=*/16));
+  const auto w = recall_accuracy(window, cfg);
+  const auto b = recall_accuracy(bigbird, cfg);
+  EXPECT_GT(b.accuracy, w.accuracy + 0.02);
+  EXPECT_GT(b.reachable_fraction, 0.02);
+  // Expected hit rate ~ n_random/seq_len per token; with 128 randoms over
+  // 2048 positions, ~6% reachable (the draw is per-row static).
+  EXPECT_LT(b.reachable_fraction, 0.30);
+}
+
+TEST(RecallTask, AccuracyDegradesWithDistanceForWindowOnly) {
+  const AttentionPattern window(PatternSpec::longformer(4096, 128));
+  double prev = 1.1;
+  for (std::int64_t dist : {32, 128, 512}) {
+    const auto cfg = task(4096, std::max<std::int64_t>(1, dist / 2), dist);
+    const auto res = recall_accuracy(window, cfg);
+    EXPECT_LT(res.accuracy, prev + 1e-9) << "dist " << dist;
+    prev = res.accuracy;
+  }
+  EXPECT_LT(prev, 0.6);  // mostly unreachable by 512
+  // Dense stays perfect at the same distances.
+  const auto dense = recall_accuracy_dense(task(4096, 256, 512));
+  EXPECT_GT(dense.accuracy, 0.97);
+}
+
+TEST(RecallTask, DilatedWindowExtendsReach) {
+  // Same 257-token budget, dilation 4: reach grows from ~128 to ~512.
+  const auto cfg = task(4096, 256, 500);
+  attn::PatternSpec plain = PatternSpec::longformer(4096, 128);
+  attn::PatternSpec dilated = plain;
+  dilated.window_dilation = 4;
+  const auto p = recall_accuracy(AttentionPattern(plain), cfg);
+  const auto d = recall_accuracy(AttentionPattern(dilated), cfg);
+  EXPECT_GT(d.reachable_fraction, p.reachable_fraction);
+  // Dilation only attends every 4th position, so reachability within the
+  // widened span is ~1/4.
+  EXPECT_GT(d.reachable_fraction, 0.1);
+}
+
+TEST(RecallTask, ReproducibleBySeed) {
+  const AttentionPattern bigbird(PatternSpec::bigbird(1024, 64, 64, 8));
+  const auto a = recall_accuracy(bigbird, task(1024, 1, 512, 9));
+  const auto b = recall_accuracy(bigbird, task(1024, 1, 512, 9));
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.reachable_fraction, b.reachable_fraction);
+}
+
+TEST(RecallTask, InvalidConfigsThrow) {
+  RecallTaskConfig bad = task(128, 1, 64);
+  bad.num_queries = 100;  // > seq_len / 2
+  const AttentionPattern p(PatternSpec::longformer(128, 8));
+  EXPECT_THROW(recall_accuracy(p, bad), std::invalid_argument);
+  RecallTaskConfig bad2 = task(128, 10, 5);  // min > max
+  EXPECT_THROW(recall_accuracy_dense(bad2), std::invalid_argument);
+  // Pattern / config length mismatch.
+  EXPECT_THROW(recall_accuracy(p, task(256, 1, 8)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::attn

@@ -1,0 +1,112 @@
+// Tests for the reference (oracle) attention implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attention/reference.hpp"
+#include "attention/window.hpp"
+#include "tensor/kernels.hpp"
+#include "test_util.hpp"
+
+namespace swat::attn {
+namespace {
+
+TEST(DenseAttention, OutputRowsAreConvexCombinationsOfV) {
+  Rng rng(1);
+  const HeadInput in = random_head_input(32, 8, rng);
+  const MatrixF z = dense_attention(in);
+  // Each output element lies within [min, max] of the corresponding V
+  // column because softmax weights are a convex combination.
+  for (std::int64_t d = 0; d < in.head_dim(); ++d) {
+    float lo = in.v(0, d), hi = in.v(0, d);
+    for (std::int64_t j = 1; j < in.seq_len(); ++j) {
+      lo = std::min(lo, in.v(j, d));
+      hi = std::max(hi, in.v(j, d));
+    }
+    for (std::int64_t i = 0; i < in.seq_len(); ++i) {
+      EXPECT_GE(z(i, d), lo - 1e-4f);
+      EXPECT_LE(z(i, d), hi + 1e-4f);
+    }
+  }
+}
+
+TEST(DenseAttention, UniformScoresAverageV) {
+  // With Q = 0 all scores are equal, so Z rows equal the mean of V rows.
+  HeadInput in;
+  in.q = MatrixF(4, 3, 0.0f);
+  Rng rng(2);
+  in.k = random_normal(4, 3, rng);
+  in.v = random_normal(4, 3, rng);
+  const MatrixF z = dense_attention(in);
+  for (std::int64_t d = 0; d < 3; ++d) {
+    float mean = 0.0f;
+    for (std::int64_t j = 0; j < 4; ++j) mean += in.v(j, d);
+    mean /= 4.0f;
+    for (std::int64_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(z(i, d), mean, 1e-5f);
+    }
+  }
+}
+
+TEST(MaskedAttention, FullMaskEqualsDense) {
+  Rng rng(3);
+  const HeadInput in = random_head_input(48, 16, rng);
+  PatternSpec s;
+  s.seq_len = 48;
+  s.window_before = 48;
+  s.window_after = 48;
+  const AttentionPattern full(s);
+  swat::testing::expect_matrix_near(masked_attention(in, full),
+                                    dense_attention(in), 2e-5f,
+                                    "full mask vs dense");
+}
+
+TEST(MaskedAttention, WindowMaskEqualsWindowAttention) {
+  Rng rng(4);
+  const HeadInput in = random_head_input(64, 8, rng);
+  const AttentionPattern p(PatternSpec::longformer(64, 5));
+  swat::testing::expect_matrix_near(masked_attention(in, p),
+                                    window_attention(in, 5), 2e-5f,
+                                    "masked vs window");
+}
+
+TEST(MaskedAttention, SingleTokenMaskReturnsThatVRow) {
+  Rng rng(5);
+  const HeadInput in = random_head_input(16, 4, rng);
+  PatternSpec s;
+  s.seq_len = 16;
+  s.window_before = 0;
+  s.window_after = 0;
+  const AttentionPattern p(s);
+  const MatrixF z = masked_attention(in, p);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    for (std::int64_t d = 0; d < 4; ++d) {
+      EXPECT_NEAR(z(i, d), in.v(i, d), 1e-6f);
+    }
+  }
+}
+
+TEST(MaskedAttention, MismatchedPatternThrows) {
+  Rng rng(6);
+  const HeadInput in = random_head_input(16, 4, rng);
+  const AttentionPattern p(PatternSpec::longformer(32, 2));
+  EXPECT_THROW(masked_attention(in, p), std::invalid_argument);
+}
+
+TEST(RandomHeadInput, ShapesAndScaling) {
+  Rng rng(7);
+  const HeadInput in = random_head_input(128, 64, rng);
+  EXPECT_EQ(in.seq_len(), 128);
+  EXPECT_EQ(in.head_dim(), 64);
+  // Q is scaled by 1/sqrt(d): its variance is ~1/d.
+  double q2 = 0.0, k2 = 0.0;
+  for (float v : in.q.flat()) q2 += static_cast<double>(v) * v;
+  for (float v : in.k.flat()) k2 += static_cast<double>(v) * v;
+  q2 /= static_cast<double>(in.q.size());
+  k2 /= static_cast<double>(in.k.size());
+  EXPECT_NEAR(q2, 1.0 / 64.0, 0.005);
+  EXPECT_NEAR(k2, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace swat::attn

@@ -1,0 +1,62 @@
+// Tests for resource accounting and device catalogs.
+#include <gtest/gtest.h>
+
+#include "hw/resource.hpp"
+
+namespace swat::hw {
+namespace {
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{.dsp = 1, .lut = 10, .ff = 100, .bram = 2, .uram = 0};
+  const ResourceVector b{.dsp = 2, .lut = 20, .ff = 200, .bram = 3, .uram = 1};
+  const ResourceVector s = a + b;
+  EXPECT_EQ(s.dsp, 3);
+  EXPECT_EQ(s.lut, 30);
+  EXPECT_EQ(s.ff, 300);
+  EXPECT_EQ(s.bram, 5);
+  EXPECT_EQ(s.uram, 1);
+  const ResourceVector m = a * 3;
+  EXPECT_EQ(m.dsp, 3);
+  EXPECT_EQ(m.lut, 30);
+  EXPECT_EQ((3 * a).ff, 300);
+}
+
+TEST(ResourceVector, FitsIn) {
+  const ResourceVector small{.dsp = 10, .lut = 10, .ff = 10, .bram = 10,
+                             .uram = 0};
+  const ResourceVector big{.dsp = 20, .lut = 20, .ff = 20, .bram = 20,
+                           .uram = 5};
+  EXPECT_TRUE(small.fits_in(big));
+  EXPECT_FALSE(big.fits_in(small));
+  ResourceVector edge = big;
+  EXPECT_TRUE(big.fits_in(edge));
+}
+
+TEST(DeviceCatalog, U55cTotals) {
+  const DeviceCatalog dev = DeviceCatalog::u55c();
+  EXPECT_EQ(dev.total.dsp, 9024);
+  EXPECT_EQ(dev.total.lut, 1303680);
+  EXPECT_EQ(dev.total.ff, 2607360);
+  EXPECT_EQ(dev.total.bram, 2016);
+  EXPECT_EQ(dev.total.uram, 960);
+}
+
+TEST(DeviceCatalog, Vcu128MatchesU55cLogicalResources) {
+  // Paper §5.3 footnote 3: same number of logical resources.
+  EXPECT_EQ(DeviceCatalog::u55c().total, DeviceCatalog::vcu128().total);
+}
+
+TEST(DeviceCatalog, UtilizationFractions) {
+  const DeviceCatalog dev = DeviceCatalog::u55c();
+  const ResourceVector used{.dsp = 9024 / 2, .lut = 1303680 / 4,
+                            .ff = 2607360 / 8, .bram = 2016, .uram = 0};
+  const Utilization u = dev.utilization(used);
+  EXPECT_DOUBLE_EQ(u.dsp, 0.5);
+  EXPECT_DOUBLE_EQ(u.lut, 0.25);
+  EXPECT_DOUBLE_EQ(u.ff, 0.125);
+  EXPECT_DOUBLE_EQ(u.bram, 1.0);
+  EXPECT_DOUBLE_EQ(u.max_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace swat::hw

@@ -1,0 +1,115 @@
+// Tests reproducing paper Table 2 (U55C resource usage).
+#include <gtest/gtest.h>
+
+#include "swat/resource_model.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Table2, Fp16WindowRow) {
+  // "FP16 (512 attn): DSP 19%, LUT 38%, FF 11%, BRAM 25%".
+  const TableUtilization u =
+      table2_utilization(SwatConfig::longformer_512());
+  EXPECT_EQ(u.dsp_pct, 19);
+  EXPECT_EQ(u.lut_pct, 38);
+  EXPECT_EQ(u.ff_pct, 11);
+  EXPECT_EQ(u.bram_pct, 25);
+}
+
+TEST(Table2, Fp16BigbirdRow) {
+  // "FP16 (BigBird 512 attn): DSP 19%, LUT 33%, FF 11%, BRAM 25%".
+  const TableUtilization u = table2_utilization(SwatConfig::bigbird_512());
+  EXPECT_EQ(u.dsp_pct, 19);
+  EXPECT_EQ(u.lut_pct, 33);
+  EXPECT_EQ(u.ff_pct, 11);
+  EXPECT_EQ(u.bram_pct, 25);
+}
+
+TEST(Table2, Fp16DualBigbirdRow) {
+  // "FP16 (BigBird 2 x 512 attn): DSP 38%, LUT 66%, FF 22%, BRAM 50%".
+  const TableUtilization u =
+      table2_utilization(SwatConfig::bigbird_dual_512());
+  EXPECT_EQ(u.dsp_pct, 38);
+  EXPECT_EQ(u.lut_pct, 66);
+  EXPECT_EQ(u.ff_pct, 22);
+  EXPECT_EQ(u.bram_pct, 50);
+}
+
+TEST(Table2, Fp32WindowRow) {
+  // "FP32 (512 attn): DSP 49%, LUT 67%, FF 23%, BRAM 25%".
+  const TableUtilization u =
+      table2_utilization(SwatConfig::longformer_512(Dtype::kFp32));
+  EXPECT_EQ(u.dsp_pct, 49);
+  EXPECT_EQ(u.lut_pct, 67);
+  EXPECT_EQ(u.ff_pct, 23);
+  EXPECT_EQ(u.bram_pct, 25);
+}
+
+TEST(Table2, ButterflyPublishedRow) {
+  const TableUtilization u = butterfly_published_utilization();
+  EXPECT_EQ(u.dsp_pct, 32);
+  EXPECT_EQ(u.lut_pct, 79);
+  EXPECT_EQ(u.ff_pct, 63);
+  EXPECT_EQ(u.bram_pct, 49);
+}
+
+TEST(ResourceModel, OneBramPerCore) {
+  const ResourceBreakdown b = estimate_resources(SwatConfig::longformer_512());
+  EXPECT_EQ(b.cores.bram, 512);
+  EXPECT_EQ(b.total().bram, 512);
+  const ResourceBreakdown dual =
+      estimate_resources(SwatConfig::bigbird_dual_512());
+  EXPECT_EQ(dual.total().bram, 1024);
+}
+
+TEST(ResourceModel, Fp32CostsMoreLogicSameBram) {
+  const auto fp16 = estimate_resources(SwatConfig::longformer_512()).total();
+  const auto fp32 =
+      estimate_resources(SwatConfig::longformer_512(Dtype::kFp32)).total();
+  EXPECT_GT(fp32.dsp, fp16.dsp);
+  EXPECT_GT(fp32.lut, fp16.lut);
+  EXPECT_GT(fp32.ff, fp16.ff);
+  EXPECT_EQ(fp32.bram, fp16.bram);  // Table 2: both 25%
+}
+
+TEST(ResourceModel, BigbirdUsesFewerLutsThanPureWindow) {
+  // Table 2 rows 1 vs 2: same DSP/FF/BRAM, fewer LUTs (fixed global
+  // buffers need no replacement logic).
+  const auto window = estimate_resources(SwatConfig::longformer_512()).total();
+  const auto bigbird = estimate_resources(SwatConfig::bigbird_512()).total();
+  EXPECT_EQ(bigbird.dsp, window.dsp);
+  EXPECT_EQ(bigbird.bram, window.bram);
+  EXPECT_LT(bigbird.lut, window.lut);
+}
+
+TEST(ResourceModel, DualPipelineDoublesEverything) {
+  const auto single = estimate_resources(SwatConfig::bigbird_512()).total();
+  const auto dual = estimate_resources(SwatConfig::bigbird_dual_512()).total();
+  EXPECT_EQ(dual.dsp, 2 * single.dsp);
+  EXPECT_EQ(dual.lut, 2 * single.lut);
+  EXPECT_EQ(dual.ff, 2 * single.ff);
+  EXPECT_EQ(dual.bram, 2 * single.bram);
+}
+
+TEST(ResourceModel, EverythingFitsTheU55c) {
+  for (const auto& cfg : {SwatConfig::longformer_512(),
+                          SwatConfig::bigbird_512(),
+                          SwatConfig::bigbird_dual_512(),
+                          SwatConfig::longformer_512(Dtype::kFp32)}) {
+    EXPECT_TRUE(estimate_resources(cfg).total().fits_in(
+        hw::DeviceCatalog::u55c().total))
+        << cfg.summary();
+  }
+}
+
+TEST(ResourceModel, BreakdownSumsToTotal) {
+  const ResourceBreakdown b = estimate_resources(SwatConfig::bigbird_512());
+  const auto t = b.total();
+  EXPECT_EQ(t.dsp,
+            b.cores.dsp + b.reduction.dsp + b.dividers.dsp + b.control.dsp);
+  EXPECT_EQ(t.lut,
+            b.cores.lut + b.reduction.lut + b.dividers.lut + b.control.lut);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,86 @@
+// Tests for the deterministic RNG wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.integer(0, 1000000) == b.integer(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, IntegerBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.integer(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(3);
+  const auto s = rng.sample_without_replacement(100, 20);
+  ASSERT_EQ(s.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<std::int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDenseAndSparsePaths) {
+  Rng rng(9);
+  // Dense path: k close to n.
+  const auto dense = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(dense.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(dense[i], i);
+  // Sparse path: k << n.
+  const auto sparse = rng.sample_without_replacement(1000000, 5);
+  ASSERT_EQ(sparse.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sparse.begin(), sparse.end()));
+}
+
+TEST(Rng, SampleWithoutReplacementEdge) {
+  Rng rng(5);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, NormalHasRoughlyCorrectMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace swat

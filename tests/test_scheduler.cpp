@@ -1,0 +1,125 @@
+// Tests for the multi-head / multi-pipeline scheduler.
+#include <gtest/gtest.h>
+
+#include "swat/analytic.hpp"
+#include "swat/scheduler.hpp"
+
+namespace swat {
+namespace {
+
+Workload wl(std::int64_t n, int heads, int layers, int batch = 1) {
+  Workload w;
+  w.seq_len = n;
+  w.heads = heads;
+  w.layers = layers;
+  w.batch = batch;
+  return w;
+}
+
+TEST(Scheduler, SingleHeadMatchesAnalyticModel) {
+  const SwatConfig cfg = SwatConfig::longformer_512();
+  const HeadScheduler sched(cfg);
+  const AnalyticModel model(cfg);
+  for (std::int64_t n : {64, 1024, 4096}) {
+    EXPECT_EQ(
+        sched.pipeline_cycles(1, n, HeadScheduling::kSerialDrain).count,
+        model.head_cycles(n).count);
+    EXPECT_EQ(sched.pipeline_cycles(1, n, HeadScheduling::kBackToBack).count,
+              model.head_cycles(n).count);
+  }
+}
+
+TEST(Scheduler, BackToBackPaysFillOnce) {
+  const SwatConfig cfg = SwatConfig::longformer_512();
+  const HeadScheduler sched(cfg);
+  const std::int64_t n = 1024;
+  const std::int64_t k = 16;
+  const auto serial =
+      sched.pipeline_cycles(k, n, HeadScheduling::kSerialDrain);
+  const auto b2b = sched.pipeline_cycles(k, n, HeadScheduling::kBackToBack);
+  // fill = 904, II = 201: serial pays (fill - II) extra per head beyond
+  // the first.
+  EXPECT_EQ(serial.count - b2b.count,
+            static_cast<std::uint64_t>(k - 1) * (904 - 201));
+  EXPECT_LT(b2b, serial);
+}
+
+TEST(Scheduler, MakespanScalesWithWorkload) {
+  const HeadScheduler sched(SwatConfig::longformer_512());
+  const auto small = sched.schedule(wl(1024, 12, 4), HeadScheduling::kBackToBack);
+  const auto big = sched.schedule(wl(1024, 12, 8), HeadScheduling::kBackToBack);
+  EXPECT_NEAR(static_cast<double>(big.makespan.count) / small.makespan.count,
+              2.0, 0.01);
+  // Batch multiplies identically.
+  const auto batched =
+      sched.schedule(wl(1024, 12, 4, 2), HeadScheduling::kBackToBack);
+  EXPECT_EQ(batched.makespan.count, big.makespan.count);
+}
+
+TEST(Scheduler, DualPipelineHalvesMakespan) {
+  const HeadScheduler one(SwatConfig::bigbird_512());
+  const HeadScheduler two(SwatConfig::bigbird_dual_512());
+  const Workload w = wl(2048, 12, 8);
+  const auto m1 = one.schedule(w, HeadScheduling::kBackToBack).makespan;
+  const auto m2 = two.schedule(w, HeadScheduling::kBackToBack).makespan;
+  EXPECT_NEAR(static_cast<double>(m1.count) / m2.count, 2.0, 0.01);
+}
+
+TEST(Scheduler, RoundRobinBalances) {
+  SwatConfig cfg = SwatConfig::longformer_512();
+  cfg.pipelines = 3;
+  const HeadScheduler sched(cfg);
+  const auto res = sched.schedule(wl(512, 10, 1), HeadScheduling::kBackToBack);
+  ASSERT_EQ(res.pipelines.size(), 3u);
+  // 10 heads over 3 pipelines: 4/3/3.
+  EXPECT_EQ(res.pipelines[0].slots.size(), 4u);
+  EXPECT_EQ(res.pipelines[1].slots.size(), 3u);
+  EXPECT_EQ(res.pipelines[2].slots.size(), 3u);
+  // Makespan set by the loaded pipeline.
+  EXPECT_EQ(res.makespan, res.pipelines[0].finish);
+}
+
+TEST(Scheduler, SlotsAreContiguousAndOrdered) {
+  const HeadScheduler sched(SwatConfig::longformer_512());
+  const auto res =
+      sched.schedule(wl(256, 4, 2), HeadScheduling::kSerialDrain);
+  const auto& slots = res.pipelines[0].slots;
+  ASSERT_EQ(slots.size(), 8u);
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].start.count, slots[i - 1].end.count);
+  }
+  // Layer-major enumeration: first slot is layer 0 head 0.
+  EXPECT_EQ(slots[0].layer, 0);
+  EXPECT_EQ(slots[0].head, 0);
+  EXPECT_EQ(slots.back().layer, 1);
+}
+
+TEST(Scheduler, BackToBackUtilizationApproachesOne) {
+  const HeadScheduler sched(SwatConfig::longformer_512());
+  const auto b2b =
+      sched.schedule(wl(4096, 12, 8), HeadScheduling::kBackToBack);
+  const auto serial =
+      sched.schedule(wl(4096, 12, 8), HeadScheduling::kSerialDrain);
+  EXPECT_GT(b2b.bottleneck_utilization, 0.999);
+  EXPECT_LT(b2b.bottleneck_utilization, 1.0 + 1e-9);
+  EXPECT_GT(b2b.bottleneck_utilization, serial.bottleneck_utilization);
+}
+
+TEST(Scheduler, WallTimeConversion) {
+  const HeadScheduler sched(SwatConfig::longformer_512());
+  const auto res = sched.schedule(wl(16384, 12, 8),
+                                  HeadScheduling::kSerialDrain);
+  // 96 heads x ~11 ms ~ 1.05 s (the integration-test rollup).
+  EXPECT_NEAR(res.wall_time(Hertz::mega(300.0)).value, 1.054, 0.01);
+}
+
+TEST(Scheduler, InvalidWorkloadThrows) {
+  const HeadScheduler sched(SwatConfig::longformer_512());
+  EXPECT_THROW(sched.schedule(wl(0, 1, 1), HeadScheduling::kBackToBack),
+               std::invalid_argument);
+  EXPECT_THROW(sched.schedule(wl(128, 0, 1), HeadScheduling::kBackToBack),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,132 @@
+// Tests for the sliding-chunks implementation (the GPU SOTA algorithm).
+#include <gtest/gtest.h>
+
+#include "attention/sliding_chunks.hpp"
+#include "attention/window.hpp"
+#include "test_util.hpp"
+
+namespace swat::attn {
+namespace {
+
+TEST(SlidingChunks, OutputMatchesExactWindowAttention) {
+  Rng rng(1);
+  for (std::int64_t n : {64, 128, 256}) {
+    for (std::int64_t w : {8, 16, 32}) {
+      const HeadInput in = random_head_input(n, 8, rng);
+      const auto res = sliding_chunks_attention(in, w);
+      swat::testing::expect_matrix_near(res.z, window_attention(in, w), 2e-5f,
+                                        "chunks vs window");
+    }
+  }
+}
+
+TEST(SlidingChunks, AlignmentPreconditions) {
+  Rng rng(2);
+  const HeadInput in = random_head_input(100, 8, rng);  // 100 % 16 != 0
+  EXPECT_THROW(sliding_chunks_attention(in, 16), std::invalid_argument);
+  const HeadInput tiny = random_head_input(16, 8, rng);
+  EXPECT_THROW(sliding_chunks_attention(tiny, 16), std::invalid_argument);
+}
+
+TEST(SlidingChunks, TileAndChunkCounts) {
+  Rng rng(3);
+  const HeadInput in = random_head_input(256, 4, rng);
+  const auto res = sliding_chunks_attention(in, 32);
+  EXPECT_EQ(res.num_tiles, 256 / 32 - 1);
+  EXPECT_EQ(res.num_chunks, 256 / 64);
+}
+
+TEST(SlidingChunks, RedundancyApproachesOneHalf) {
+  Rng rng(4);
+  double last = 0.0;
+  for (std::int64_t n : {128, 256, 512, 1024}) {
+    const HeadInput in = random_head_input(n, 4, rng);
+    const auto res = sliding_chunks_attention(in, 16);
+    const double measured = res.measured_redundancy();
+    EXPECT_GT(measured, last);  // grows with more chunks
+    EXPECT_LT(measured, 0.5);   // bounded by 1/2
+    last = measured;
+  }
+  EXPECT_GT(last, 0.42);  // close to 1/2 by 32 chunks
+}
+
+TEST(SlidingChunks, RedundancyMatchesPaperFormula) {
+  Rng rng(5);
+  for (std::int64_t n : {256, 512, 1024}) {
+    const HeadInput in = random_head_input(n, 8, rng);
+    const auto res = sliding_chunks_attention(in, 16);
+    const double formula = sliding_chunks_redundancy_ratio(res.num_chunks);
+    // The paper's closed form 1/2 - 1/(4|chunks|) is an asymptotic
+    // expression; the measured ratio (which accounts for boundary rows and
+    // the odd band width 2w+1) must track it closely.
+    EXPECT_NEAR(res.measured_redundancy(), formula, 0.03) << "n=" << n;
+  }
+}
+
+TEST(SlidingChunks, DenseOpsExceedUsefulOps) {
+  Rng rng(6);
+  const HeadInput in = random_head_input(512, 8, rng);
+  const auto res = sliding_chunks_attention(in, 32);
+  EXPECT_GT(res.dense_mul_adds, res.useful_mul_adds);
+  // Dense tile volume: 2 (QK+SV) * tiles * (2w)^2 * h.
+  EXPECT_EQ(res.dense_mul_adds, 2 * res.num_tiles * 64 * 64 * 8);
+}
+
+TEST(SlidingChunks, PeakScoreMemoryIsLinearInN) {
+  Rng rng(7);
+  const HeadInput a = random_head_input(256, 4, rng);
+  const HeadInput b = random_head_input(512, 4, rng);
+  const auto ra = sliding_chunks_attention(a, 16);
+  const auto rb = sliding_chunks_attention(b, 16);
+  const double ratio = static_cast<double>(rb.peak_score_elems) /
+                       static_cast<double>(ra.peak_score_elems);
+  EXPECT_NEAR(ratio, 2.0, 0.15);  // ~linear, vs 4x for dense N^2
+}
+
+TEST(SlidingChunksPadded, MatchesExactWindowOnUnalignedLengths) {
+  Rng rng(8);
+  for (std::int64_t n : {17, 50, 100, 130}) {
+    const HeadInput in = attn::random_head_input(n, 8, rng);
+    const auto res = sliding_chunks_attention_padded(in, 16);
+    ASSERT_EQ(res.z.rows(), n);
+    swat::testing::expect_matrix_near(res.z, window_attention(in, 16), 2e-5f,
+                                      "padded chunks vs window");
+  }
+}
+
+TEST(SlidingChunksPadded, AlignedInputTakesFastPath) {
+  Rng rng(9);
+  const HeadInput in = attn::random_head_input(128, 8, rng);
+  const auto padded = sliding_chunks_attention_padded(in, 16);
+  const auto aligned = sliding_chunks_attention(in, 16);
+  swat::testing::expect_matrix_equal(padded.z, aligned.z, "fast path");
+  EXPECT_EQ(padded.dense_mul_adds, aligned.dense_mul_adds);
+}
+
+TEST(SlidingChunksPadded, PaddedTilesCountedInExecutedOps) {
+  Rng rng(10);
+  const HeadInput in = attn::random_head_input(100, 8, rng);  // pads to 112
+  const auto res = sliding_chunks_attention_padded(in, 16);
+  // 112/16 - 1 = 6 tiles of 32x32, QK + SV.
+  EXPECT_EQ(res.dense_mul_adds, 2 * 6 * 32 * 32 * 8);
+  // Useful ops only cover the 100 real rows.
+  EXPECT_LT(res.useful_mul_adds, res.dense_mul_adds);
+}
+
+TEST(SlidingChunksPadded, TinySequences) {
+  Rng rng(11);
+  const HeadInput in = attn::random_head_input(3, 4, rng);
+  const auto res = sliding_chunks_attention_padded(in, 8);  // pads to 16
+  swat::testing::expect_matrix_near(res.z, window_attention(in, 8), 2e-5f,
+                                    "tiny padded");
+}
+
+TEST(SlidingChunksFormula, ClosedForm) {
+  EXPECT_DOUBLE_EQ(sliding_chunks_redundancy_ratio(1), 0.25);
+  EXPECT_DOUBLE_EQ(sliding_chunks_redundancy_ratio(2), 0.375);
+  EXPECT_NEAR(sliding_chunks_redundancy_ratio(1000), 0.5, 2.6e-4);
+  EXPECT_THROW(sliding_chunks_redundancy_ratio(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat::attn

@@ -1,0 +1,60 @@
+// Tests for the table renderer used by every bench binary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/table.hpp"
+
+namespace swat::eval {
+namespace {
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::pct(0.3333, 1), "33.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::times(6.7), "6.7x");
+  EXPECT_EQ(Table::ms(0.01234), "12.34 ms");
+  EXPECT_EQ(Table::mb(1048576.0), "1.0 MB");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // 2 header-ish lines + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same length (aligned columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"n", "value"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"2", "3.5"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n,value\n1,2.5\n2,3.5\n");
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace swat::eval

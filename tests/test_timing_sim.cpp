@@ -1,0 +1,96 @@
+// Tests for the cycle-level timing simulator.
+#include <gtest/gtest.h>
+
+#include "swat/analytic.hpp"
+#include "swat/timing_sim.hpp"
+
+namespace swat {
+namespace {
+
+TEST(TimingSim, MatchesAnalyticClosedForm) {
+  for (const auto& cfg : {SwatConfig::longformer_512(),
+                          SwatConfig::bigbird_512(),
+                          SwatConfig::longformer_512(Dtype::kFp32)}) {
+    const TimingSimulator sim(cfg);
+    const AnalyticModel model(cfg);
+    for (std::int64_t n : {1, 2, 16, 100, 1024, 4096}) {
+      EXPECT_EQ(sim.run(n).total.count, model.head_cycles(n).count)
+          << cfg.summary() << " n=" << n;
+    }
+  }
+}
+
+TEST(TimingSim, SteadyStateIntervalIsPipelineIi) {
+  const TimingSimulator sim(SwatConfig::longformer_512());
+  const auto res = sim.run(256);
+  EXPECT_EQ(res.row_interval.count, 201u);
+  const TimingSimulator sim32(SwatConfig::longformer_512(Dtype::kFp32));
+  EXPECT_EQ(sim32.run(256).row_interval.count, 264u);
+}
+
+TEST(TimingSim, FillMatchesLongestPath) {
+  const auto res = TimingSimulator(SwatConfig::longformer_512()).run(8);
+  EXPECT_EQ(res.fill.count, 904u);
+}
+
+TEST(TimingSim, HbmNeverLimitsTheDefaultDesign) {
+  // Per-row traffic is tiny relative to HBM bandwidth (paper's design
+  // premise); the simulator verifies rather than assumes it.
+  for (const auto& cfg : {SwatConfig::longformer_512(),
+                          SwatConfig::bigbird_512()}) {
+    EXPECT_FALSE(TimingSimulator(cfg).run(2048).hbm_limited)
+        << cfg.summary();
+  }
+}
+
+TEST(TimingSim, ArtificiallySlowMemoryDoesLimit) {
+  hw::HbmSpec slow;
+  slow.bandwidth_gbps = 0.001;  // 1 MB/s
+  const TimingSimulator sim(SwatConfig::longformer_512(), slow);
+  const auto res = sim.run(64);
+  EXPECT_TRUE(res.hbm_limited);
+  // Total time stretches beyond the compute-bound closed form.
+  const AnalyticModel model(SwatConfig::longformer_512());
+  EXPECT_GT(res.total.count, model.head_cycles(64).count);
+}
+
+TEST(TimingSim, QkStageIsTheBottleneck) {
+  const auto res = TimingSimulator(SwatConfig::longformer_512()).run(512);
+  // Find QK utilization: it should be the highest of all stages (~1.0).
+  double qk_util = 0.0;
+  double max_other = 0.0;
+  for (std::size_t s = 0; s < res.stage_names.size(); ++s) {
+    if (res.stage_names[s] == "QK") {
+      qk_util = res.utilization(s);
+    } else {
+      max_other = std::max(max_other, res.utilization(s));
+    }
+  }
+  EXPECT_GT(qk_util, 0.95);
+  EXPECT_GE(qk_util, max_other);
+}
+
+TEST(TimingSim, LinearScalingInSequenceLength) {
+  const TimingSimulator sim(SwatConfig::longformer_512());
+  const auto t1 = sim.run(1024).total.count;
+  const auto t2 = sim.run(2048).total.count;
+  const auto t4 = sim.run(4096).total.count;
+  // Doubling n roughly doubles cycles (fill amortizes away).
+  EXPECT_NEAR(static_cast<double>(t2) / t1, 2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(t4) / t2, 2.0, 0.005);
+}
+
+TEST(TimingSim, WallTimeConversion) {
+  const auto res = TimingSimulator(SwatConfig::longformer_512()).run(16384);
+  const Seconds t = res.wall_time(Hertz::mega(300.0));
+  // 16384 rows x 201 cycles ~ 3.29 M cycles ~ 11.0 ms at 300 MHz.
+  EXPECT_NEAR(t.milliseconds(), 11.0, 0.2);
+}
+
+TEST(TimingSim, RejectsZeroRows) {
+  EXPECT_THROW(TimingSimulator(SwatConfig::longformer_512()).run(0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,57 @@
+// Tests for the strong unit types.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace swat {
+namespace {
+
+TEST(Units, CyclesArithmetic) {
+  EXPECT_EQ((Cycles{3} + Cycles{4}).count, 7u);
+  EXPECT_EQ((Cycles{3} * 5).count, 15u);
+  EXPECT_EQ((5 * Cycles{3}).count, 15u);
+  Cycles c{10};
+  c += Cycles{2};
+  EXPECT_EQ(c.count, 12u);
+  EXPECT_LT(Cycles{1}, Cycles{2});
+}
+
+TEST(Units, CyclesToSeconds) {
+  // 300 cycles at 300 MHz is exactly one microsecond.
+  const Seconds t = to_seconds(Cycles{300}, Hertz::mega(300.0));
+  EXPECT_DOUBLE_EQ(t.microseconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t.milliseconds(), 1e-3);
+}
+
+TEST(Units, SecondsArithmetic) {
+  const Seconds a = Seconds::milli(2.0);
+  const Seconds b = Seconds::micro(500.0);
+  EXPECT_DOUBLE_EQ((a + b).value, 2.5e-3);
+  EXPECT_DOUBLE_EQ((a * 3.0).value, 6e-3);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Units, EnergyIsPowerTimesTime) {
+  const Joules e = energy(Watts{300.0}, Seconds::milli(10.0));
+  EXPECT_DOUBLE_EQ(e.value, 3.0);
+  EXPECT_DOUBLE_EQ(e.millijoules(), 3000.0);
+  EXPECT_DOUBLE_EQ(Joules{6.0} / Joules{3.0}, 2.0);
+}
+
+TEST(Units, BytesHelpers) {
+  EXPECT_EQ(Bytes::kibi(2).count, 2048u);
+  EXPECT_EQ(Bytes::mebi(1).count, 1048576u);
+  EXPECT_DOUBLE_EQ(Bytes::mebi(3).mebibytes(), 3.0);
+  EXPECT_EQ((Bytes{100} + Bytes{28}).count, 128u);
+  EXPECT_EQ((Bytes{3} * 4).count, 12u);
+}
+
+TEST(Units, WattsAccumulate) {
+  Watts p{1.5};
+  p += Watts{2.5};
+  EXPECT_DOUBLE_EQ(p.value, 4.0);
+  EXPECT_DOUBLE_EQ((Watts{1.0} + Watts{2.0}).value, 3.0);
+}
+
+}  // namespace
+}  // namespace swat

@@ -1,0 +1,34 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::testing {
+
+/// Assert two matrices agree element-wise within `tol`.
+inline void expect_matrix_near(const MatrixF& actual, const MatrixF& expected,
+                               float tol, const char* what = "") {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  const float diff = max_abs_diff(actual, expected);
+  EXPECT_LE(diff, tol) << what << " max |diff| = " << diff;
+}
+
+/// Assert two matrices are bit-identical.
+inline void expect_matrix_equal(const MatrixF& actual,
+                                const MatrixF& expected,
+                                const char* what = "") {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  for (std::int64_t i = 0; i < actual.rows(); ++i) {
+    for (std::int64_t j = 0; j < actual.cols(); ++j) {
+      ASSERT_EQ(actual(i, j), expected(i, j))
+          << what << " mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace swat::testing

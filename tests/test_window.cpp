@@ -1,0 +1,106 @@
+// Tests for exact banded/window attention.
+#include <gtest/gtest.h>
+
+#include "attention/reference.hpp"
+#include "attention/window.hpp"
+#include "test_util.hpp"
+
+namespace swat::attn {
+namespace {
+
+TEST(WindowAttention, FullWindowEqualsDense) {
+  Rng rng(1);
+  const HeadInput in = random_head_input(40, 8, rng);
+  swat::testing::expect_matrix_near(window_attention(in, 40),
+                                    dense_attention(in), 2e-5f,
+                                    "full window vs dense");
+}
+
+TEST(WindowAttention, MatchesMaskedOracle) {
+  Rng rng(2);
+  for (std::int64_t w : {1, 3, 7, 16}) {
+    const HeadInput in = random_head_input(64, 8, rng);
+    const AttentionPattern p(PatternSpec::longformer(64, w));
+    swat::testing::expect_matrix_near(window_attention(in, w),
+                                      masked_attention(in, p), 2e-5f,
+                                      "window vs masked");
+  }
+}
+
+TEST(BandAttention, SymmetricBandEqualsWindow) {
+  Rng rng(3);
+  const HeadInput in = random_head_input(48, 8, rng);
+  swat::testing::expect_matrix_equal(band_attention(in, 6, 6),
+                                     window_attention(in, 6));
+}
+
+TEST(BandAttention, AsymmetricBandMatchesMaskedOracle) {
+  Rng rng(4);
+  const HeadInput in = random_head_input(96, 8, rng);
+  PatternSpec s;
+  s.seq_len = 96;
+  s.window_before = 8;
+  s.window_after = 7;  // the SWAT 2w-core band
+  const AttentionPattern p(s);
+  swat::testing::expect_matrix_near(band_attention(in, 8, 7),
+                                    masked_attention(in, p), 2e-5f,
+                                    "asymmetric band vs masked");
+}
+
+TEST(BandAttention, CausalBandOnlyLooksBack) {
+  Rng rng(5);
+  HeadInput in = random_head_input(16, 4, rng);
+  const MatrixF z = band_attention(in, 3, 0);
+  // Row 0 attends only itself.
+  for (std::int64_t d = 0; d < 4; ++d) {
+    EXPECT_NEAR(z(0, d), in.v(0, d), 1e-6f);
+  }
+  // Modifying V *after* the band must not change row i's output.
+  MatrixF z_before = z;
+  in.v(10, 0) += 100.0f;
+  const MatrixF z_after = band_attention(in, 3, 0);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t d = 0; d < 4; ++d) {
+      EXPECT_EQ(z_after(i, d), z_before(i, d)) << i << "," << d;
+    }
+  }
+}
+
+TEST(WindowAttention, LinearComplexityOps) {
+  // Ops scale linearly with n at fixed w (the central scaling claim);
+  // w << n so boundary clipping is negligible.
+  const auto ops_1k = window_attention_ops(1024, 64, 64);
+  const auto ops_2k = window_attention_ops(2048, 64, 64);
+  const auto ops_4k = window_attention_ops(4096, 64, 64);
+  const double r21 = static_cast<double>(ops_2k.mul_adds) /
+                     static_cast<double>(ops_1k.mul_adds);
+  const double r42 = static_cast<double>(ops_4k.mul_adds) /
+                     static_cast<double>(ops_2k.mul_adds);
+  EXPECT_NEAR(r21, 2.0, 0.1);
+  EXPECT_NEAR(r42, 2.0, 0.05);
+}
+
+TEST(WindowAttention, OpsCountExactInterior) {
+  // For n >> w the per-row cost is (2w+1) * h * 2 MACs.
+  const std::int64_t n = 1000, w = 2, h = 8;
+  const auto ops = window_attention_ops(n, w, h);
+  // Rows 2..997 have full bands; rows 0,1,998,999 are clipped.
+  const std::int64_t full = (n - 4) * (2 * w + 1) * h * 2;
+  const std::int64_t clipped = 2 * ((w + 1) + (w + 2)) * h * 2;
+  EXPECT_EQ(ops.mul_adds, full + clipped);
+  EXPECT_EQ(ops.divisions, n * h);
+}
+
+TEST(WindowAttention, ZeroRadiusIsIdentityOverV) {
+  Rng rng(6);
+  const HeadInput in = random_head_input(12, 4, rng);
+  const MatrixF z = window_attention(in, 0);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    for (std::int64_t d = 0; d < 4; ++d) {
+      EXPECT_NEAR(z(i, d), in.v(i, d), 1e-6f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swat::attn

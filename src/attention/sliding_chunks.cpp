@@ -1,24 +1,15 @@
 #include "attention/sliding_chunks.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace swat::attn {
-
-namespace {
-
-/// Score storage for one chunk: a dense (2w x 2w) tile between query rows
-/// [base, base + 2w) and key rows [base, base + 2w).
-struct ChunkScores {
-  std::int64_t base = 0;
-  MatrixF s;  // 2w x 2w
-};
-
-}  // namespace
 
 namespace {
 
@@ -51,18 +42,21 @@ SlidingChunksResult sliding_chunks_attention_padded(
   padded.k = MatrixF(aligned, in.head_dim(), 0.0f);
   padded.v = MatrixF(aligned, in.head_dim(), 0.0f);
   for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t d = 0; d < in.head_dim(); ++d) {
-      padded.q(i, d) = in.q(i, d);
-      padded.k(i, d) = in.k(i, d);
-      padded.v(i, d) = in.v(i, d);
-    }
+    auto copy_row = [i](const MatrixF& src, MatrixF& dst) {
+      auto s = src.row(i);
+      auto d = dst.row(i);
+      std::copy(s.begin(), s.end(), d.begin());
+    };
+    copy_row(in.q, padded.q);
+    copy_row(in.k, padded.k);
+    copy_row(in.v, padded.v);
   }
   SlidingChunksResult res = sliding_chunks_aligned(padded, w, n);
   MatrixF z(n, in.head_dim());
   for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t d = 0; d < in.head_dim(); ++d) {
-      z(i, d) = res.z(i, d);
-    }
+    auto s = res.z.row(i);
+    auto d = z.row(i);
+    std::copy(s.begin(), s.end(), d.begin());
   }
   res.z = std::move(z);
   return res;
@@ -92,18 +86,25 @@ SlidingChunksResult sliding_chunks_aligned(const HeadInput& in,
   out.z = MatrixF(n, h, 0.0f);
 
   // Phase 1: dense QK tiles, every element computed (this is the whole
-  // point of the scheme — the tile is a plain GEMM).
-  std::vector<ChunkScores> chunks(static_cast<std::size_t>(num_tiles));
-  for (std::int64_t c = 0; c < num_tiles; ++c) {
-    auto& ch = chunks[static_cast<std::size_t>(c)];
-    ch.base = c * w;
-    ch.s = MatrixF(2 * w, 2 * w);
-    for (std::int64_t qi = 0; qi < 2 * w; ++qi) {
-      for (std::int64_t kj = 0; kj < 2 * w; ++kj) {
-        ch.s(qi, kj) = dot(in.q.row(ch.base + qi), in.k.row(ch.base + kj));
-      }
+  // point of the scheme — the tile is a plain GEMM). All tile scores live
+  // in one arena (num_tiles contiguous 2w x 2w slabs) instead of per-tile
+  // allocations; K^T is materialized once so every tile GEMM streams
+  // unit-stride. Tiles are independent, so the loop fans out over the pool.
+  const std::int64_t tile_elems = (2 * w) * (2 * w);
+  WorkspaceLease scores(tls_workspace(),
+                        static_cast<std::size_t>(num_tiles * tile_elems));
+  WorkspaceLease kt(tls_workspace(), static_cast<std::size_t>(n * h));
+  detail::transpose_raw(in.k.data(), h, kt.data(), n, n, h);
+  const float* q = in.q.data();
+  parallel_for(0, num_tiles, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const std::int64_t base = c * w;
+      // S_tile = Q[base : base+2w, :] * K^T[:, base : base+2w].
+      detail::gemm(q + base * h, h, kt.data() + base, n,
+                   scores.data() + c * tile_elems, 2 * w, 2 * w, 2 * w, h,
+                   nullptr, /*parallel=*/false);
     }
-  }
+  });
   // Dense MACs: QK tiles plus the SV tiles of the same shape (the masked
   // S' tile multiplies the V chunk densely; masked entries are zeros but
   // the GEMM still executes them).
@@ -112,46 +113,56 @@ SlidingChunksResult sliding_chunks_aligned(const HeadInput& in,
   // Phase 2: per-row masked softmax over the exact band, gathering scores
   // from the owning tiles, then the SV product. Mathematically identical to
   // masking the tiles and summing the two overlapping tile contributions.
-  std::vector<float> band(static_cast<std::size_t>(2 * w + 1));
-  for (std::int64_t i = 0; i < valid_rows; ++i) {
-    const std::int64_t lo = std::max<std::int64_t>(0, i - w);
-    const std::int64_t hi = std::min<std::int64_t>(valid_rows - 1, i + w);
-    const std::size_t count = static_cast<std::size_t>(hi - lo + 1);
-    out.useful_mul_adds += 2 * static_cast<std::int64_t>(count) * h;
+  // Rows are independent (each writes only its own z row); the useful-MAC
+  // counter reduces over integers, so any partition yields identical
+  // results and statistics.
+  std::atomic<std::int64_t> useful_mul_adds{0};
+  parallel_for(0, valid_rows, 64, [&](std::int64_t r0, std::int64_t r1) {
+    std::vector<float> band(static_cast<std::size_t>(2 * w + 1));
+    std::int64_t local_useful = 0;
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const std::int64_t lo = std::max<std::int64_t>(0, i - w);
+      const std::int64_t hi = std::min<std::int64_t>(valid_rows - 1, i + w);
+      const std::size_t count = static_cast<std::size_t>(hi - lo + 1);
+      local_useful += 2 * static_cast<std::int64_t>(count) * h;
 
-    // The chunk that owns row i's full right half plus the left overlap:
-    // c0 = clamp(floor(i/w) - ...) — row i lies in chunk floor(i/w) (and
-    // floor(i/w)-1 when it exists); between them they cover [i-w, i+w].
-    const std::int64_t c_hi =
-        std::min<std::int64_t>(i / w, num_tiles - 1);
-    const std::int64_t c_lo = std::max<std::int64_t>(0, c_hi - 1);
+      // The chunk that owns row i's full right half plus the left overlap:
+      // c0 = clamp(floor(i/w) - ...) — row i lies in chunk floor(i/w) (and
+      // floor(i/w)-1 when it exists); between them they cover [i-w, i+w].
+      const std::int64_t c_hi =
+          std::min<std::int64_t>(i / w, num_tiles - 1);
+      const std::int64_t c_lo = std::max<std::int64_t>(0, c_hi - 1);
 
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = lo; j <= hi; ++j) {
-      // Prefer the higher chunk (covers columns >= c_hi*w); fall back to
-      // the lower one for columns before that.
-      const ChunkScores& ch =
-          (j >= chunks[static_cast<std::size_t>(c_hi)].base &&
-           j < chunks[static_cast<std::size_t>(c_hi)].base + 2 * w)
-              ? chunks[static_cast<std::size_t>(c_hi)]
-              : chunks[static_cast<std::size_t>(c_lo)];
-      SWAT_ENSURES(j >= ch.base && j < ch.base + 2 * w);
-      SWAT_ENSURES(i >= ch.base && i < ch.base + 2 * w);
-      const float v = ch.s(i - ch.base, j - ch.base);
-      band[static_cast<std::size_t>(j - lo)] = v;
-      mx = std::max(mx, v);
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = lo; j <= hi; ++j) {
+        // Prefer the higher chunk (covers columns >= c_hi*w); fall back to
+        // the lower one for columns before that.
+        const std::int64_t c =
+            (j >= c_hi * w && j < c_hi * w + 2 * w) ? c_hi : c_lo;
+        const std::int64_t base = c * w;
+        SWAT_ENSURES(j >= base && j < base + 2 * w);
+        SWAT_ENSURES(i >= base && i < base + 2 * w);
+        const float v =
+            scores[static_cast<std::size_t>(c * tile_elems +
+                                            (i - base) * 2 * w + (j - base))];
+        band[static_cast<std::size_t>(j - lo)] = v;
+        mx = std::max(mx, v);
+      }
+      float sum = 0.0f;
+      for (std::size_t t = 0; t < count; ++t) {
+        band[t] = std::exp(band[t] - mx);
+        sum += band[t];
+      }
+      SWAT_ENSURES(sum > 0.0f);
+      auto zrow = out.z.row(i);
+      for (std::size_t t = 0; t < count; ++t) {
+        axpy(band[t] / sum, in.v.row(lo + static_cast<std::int64_t>(t)),
+             zrow);
+      }
     }
-    float sum = 0.0f;
-    for (std::size_t t = 0; t < count; ++t) {
-      band[t] = std::exp(band[t] - mx);
-      sum += band[t];
-    }
-    SWAT_ENSURES(sum > 0.0f);
-    auto zrow = out.z.row(i);
-    for (std::size_t t = 0; t < count; ++t) {
-      axpy(band[t] / sum, in.v.row(lo + static_cast<std::int64_t>(t)), zrow);
-    }
-  }
+    useful_mul_adds.fetch_add(local_useful, std::memory_order_relaxed);
+  });
+  out.useful_mul_adds = useful_mul_adds.load();
 
   // All tiles are live simultaneously in the GPU kernel.
   out.peak_score_elems = num_tiles * (2 * w) * (2 * w);

@@ -1,13 +1,23 @@
 // Contract-checking macros in the spirit of the C++ Core Guidelines
 // (I.5/I.6 "state preconditions", I.7/I.8 "state postconditions").
 //
-// SWAT_EXPECTS(cond)  - precondition; throws std::invalid_argument.
-// SWAT_ENSURES(cond)  - postcondition / internal invariant; throws
-//                       std::logic_error (a violated ENSURES is a bug in the
-//                       library, not in the caller).
+// SWAT_EXPECTS(cond)      - precondition; throws std::invalid_argument.
+// SWAT_ENSURES(cond)      - postcondition / internal invariant; throws
+//                           std::logic_error (a violated ENSURES is a bug in
+//                           the library, not in the caller).
+// SWAT_CHECK_BOUNDS(cond) - per-element bounds contract on the hot accessor
+//                           paths (Matrix::operator(), Matrix::row). Active
+//                           in debug builds and whenever SWAT_CHECKED is
+//                           defined; compiles to nothing in plain Release
+//                           builds so the checked accessors stop taxing the
+//                           kernel inner loops.
 //
-// Both macros stringify the condition and prepend file:line so that a failed
-// contract in a deep simulation loop is directly actionable.
+// The throwing macros stringify the condition and prepend file:line so that
+// a failed contract in a deep simulation loop is directly actionable.
+//
+// SWAT_CHECKED must be configured uniformly for a whole build tree (the
+// CMake option applies it globally): Matrix's accessors are inline, and
+// mixing checked/unchecked instantiations across TUs would violate the ODR.
 #pragma once
 
 #include <stdexcept>
@@ -44,3 +54,13 @@ namespace swat::detail {
       ::swat::detail::contract_violation_ensures(#cond, __FILE__,       \
                                                  __LINE__);             \
   } while (false)
+
+#if defined(SWAT_CHECKED) || !defined(NDEBUG)
+#define SWAT_BOUNDS_CHECKED 1
+#define SWAT_CHECK_BOUNDS(cond) SWAT_EXPECTS(cond)
+#else
+#define SWAT_BOUNDS_CHECKED 0
+#define SWAT_CHECK_BOUNDS(cond) \
+  do {                          \
+  } while (false)
+#endif

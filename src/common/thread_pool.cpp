@@ -1,0 +1,182 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+namespace {
+
+// True while the current thread is executing pool work; nested parallel_for
+// calls detect this and run inline instead of waiting on the pool.
+thread_local bool t_in_pool_work = false;
+
+int default_num_threads() {
+  if (const char* env = std::getenv("SWAT_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_num_threads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int n) { start_workers(n); }
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::start_workers(int n) {
+  SWAT_EXPECTS(n >= 1);
+  num_threads_ = n;
+  stopping_ = false;
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::set_num_threads(int n) {
+  SWAT_EXPECTS(n >= 1);
+  {
+    // Reconfiguring tears the worker set down; doing that under an
+    // in-flight parallel_for would strand its caller.
+    std::lock_guard<std::mutex> lock(mutex_);
+    SWAT_EXPECTS(job_ == nullptr &&
+                 "set_num_threads called during an active parallel_for");
+  }
+  if (n == num_threads_) return;
+  stop_workers();
+  start_workers(n);
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  t_in_pool_work = true;
+  std::int64_t completed = 0;
+  for (;;) {
+    const std::int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    const std::int64_t b = job.begin + c * job.chunk;
+    const std::int64_t e = std::min(b + job.chunk, job.end);
+    if (b >= e) {
+      // Ceil-division chunking can overshoot the range; such chunks are
+      // empty but must still count toward completion.
+      ++completed;
+      continue;
+    }
+    bool failed;
+    {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      failed = job.error != nullptr;
+    }
+    if (!failed) {
+      try {
+        (*job.body)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    ++completed;
+  }
+  t_in_pool_work = false;
+  if (completed > 0 &&
+      job.done.fetch_add(completed, std::memory_order_acq_rel) + completed ==
+          job.num_chunks) {
+    // Empty lock/unlock: without it the notify could race into the window
+    // between the waiter's predicate check and its sleep and be lost.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  SWAT_EXPECTS(grain >= 1);
+  if (end <= begin) return;
+  const std::int64_t count = end - begin;
+  if (num_threads_ == 1 || count <= grain || t_in_pool_work) {
+    body(begin, end);
+    return;
+  }
+
+  // Partition into at most threads * 8 chunks of at least `grain` indices
+  // each; the atomic cursor in run_chunks load-balances uneven chunks.
+  const std::int64_t max_chunks =
+      static_cast<std::int64_t>(num_threads_) * 8;
+  const std::int64_t by_grain = (count + grain - 1) / grain;
+  const std::int64_t num_chunks = std::clamp<std::int64_t>(
+      std::min(by_grain, max_chunks), 1, count);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->num_chunks = num_chunks;
+  job->chunk = (count + num_chunks - 1) / num_chunks;
+  job->body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates, then waits for stragglers.
+  run_chunks(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_chunks;
+    });
+    // Only clear our own job: another caller may have published a newer
+    // one, and wiping it would strand that caller's workers asleep.
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+int num_threads() { return ThreadPool::instance().num_threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  ThreadPool::instance().parallel_for(begin, end, grain, body);
+}
+
+}  // namespace swat

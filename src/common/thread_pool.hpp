@@ -1,0 +1,101 @@
+// A small fork-join thread pool with a `parallel_for` primitive, used to
+// parallelize the host-side kernel hot paths (GEMM row blocks, sliding-chunk
+// tiles, per-head attention, per-row softmax/SV phases).
+//
+// Design constraints, in order:
+//  1. Determinism: parallel_for only partitions an index range; every index
+//     is processed exactly once by exactly one thread, and the per-index
+//     computation must not depend on the partition. All kernels in this
+//     repository obey that, so results are bit-identical for any thread
+//     count — a property the tests assert for thread counts {1, 4}.
+//  2. Re-entrancy: a parallel_for issued from inside a worker (e.g. a
+//     parallel GEMM called from a parallel per-head loop) degrades to a
+//     serial inline call instead of deadlocking the pool.
+//  3. Zero cost when disabled: with one thread (the default when
+//     `SWAT_THREADS=1` or the machine has one core) the body runs inline
+//     with no synchronization at all.
+//
+// Thread count resolution: `SWAT_THREADS` environment variable if set,
+// otherwise std::thread::hardware_concurrency(); override at runtime with
+// set_num_threads().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swat {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Lazily constructed on first use.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of threads that execute work (workers + the caller).
+  int num_threads() const {
+    return num_threads_.load(std::memory_order_relaxed);
+  }
+
+  /// Resize the pool. `n >= 1`; n == 1 means "everything inline". Must not
+  /// be called while a parallel_for is in flight on another thread (the
+  /// worker set is torn down and rebuilt); that misuse is contract-checked.
+  void set_num_threads(int n);
+
+  /// Invoke `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end). `grain` is the minimum number of indices per chunk;
+  /// ranges not longer than `grain` (or issued from inside a worker) run
+  /// inline on the calling thread. Blocks until the whole range is done.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  explicit ThreadPool(int n);
+  void start_workers(int n);
+  void stop_workers();
+  void worker_loop();
+
+  // One fork-join job: chunks are claimed via an atomic cursor so faster
+  // threads steal more of the range; `done` counts completed chunks. The
+  // first exception thrown by any chunk is captured and rethrown on the
+  // calling thread (remaining chunks are skipped, not aborted mid-flight).
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t chunk = 1;
+    std::int64_t num_chunks = 0;
+    std::int64_t end = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void run_chunks(Job& job);
+
+  std::atomic<int> num_threads_{1};
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;       // current job, guarded by mutex_
+  std::uint64_t job_epoch_ = 0;    // bumped per job so sleeping workers skip
+  bool stopping_ = false;
+};
+
+/// Convenience wrappers over ThreadPool::instance().
+int num_threads();
+void set_num_threads(int n);
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace swat

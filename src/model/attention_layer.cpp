@@ -1,8 +1,10 @@
 #include "model/attention_layer.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "attention/window.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace swat::model {
@@ -47,15 +49,8 @@ MatrixF MultiHeadAttention::attend_one_head(
           swat_cfg_.pattern_spec(head.seq_len()));
       return attn::masked_attention(head, pattern);
     }
-    case AttentionBackend::kSwatSimulator: {
-      const FunctionalResult res = sim_->run(head);
-      stats_.swat_offchip_traffic +=
-          res.total_read() + res.z_bytes_written;
-      stats_.swat_core_loads += res.window_core_loads +
-                                res.global_core_loads +
-                                res.random_core_loads;
-      return res.z;
-    }
+    case AttentionBackend::kSwatSimulator:
+      break;  // handled via FunctionalSimulator::run_heads in forward()
   }
   SWAT_ENSURES(false);
   return {};
@@ -72,29 +67,57 @@ MatrixF MultiHeadAttention::forward(const MatrixF& x) const {
   const MatrixF v = wv_.forward(x);
 
   // Per-head slices; the 1/sqrt(h) scaling folds into Q (the convention the
-  // attention kernels in this repository assume).
+  // attention kernels in this repository assume). Slicing fans out over the
+  // thread pool (each head fills its own HeadInput).
   const float scale = 1.0f / std::sqrt(static_cast<float>(h));
-  MatrixF concat(n, d_model_);
-  for (std::int64_t head = 0; head < num_heads_; ++head) {
-    attn::HeadInput in;
-    in.q = MatrixF(n, h);
-    in.k = MatrixF(n, h);
-    in.v = MatrixF(n, h);
-    const std::int64_t base = head * h;
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t d = 0; d < h; ++d) {
-        in.q(i, d) = q(i, base + d) * scale;
-        in.k(i, d) = k(i, base + d);
-        in.v(i, d) = v(i, base + d);
+  std::vector<attn::HeadInput> inputs(static_cast<std::size_t>(num_heads_));
+  parallel_for(0, num_heads_, 1, [&](std::int64_t h0, std::int64_t h1) {
+    for (std::int64_t head = h0; head < h1; ++head) {
+      attn::HeadInput& in = inputs[static_cast<std::size_t>(head)];
+      in.q = MatrixF(n, h);
+      in.k = MatrixF(n, h);
+      in.v = MatrixF(n, h);
+      const std::int64_t base = head * h;
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t d = 0; d < h; ++d) {
+          in.q(i, d) = q(i, base + d) * scale;
+          in.k(i, d) = k(i, base + d);
+          in.v(i, d) = v(i, base + d);
+        }
       }
     }
-    const MatrixF z = attend_one_head(in);
+  });
+
+  // Heads are independent; both backends fan the per-head work out over
+  // the pool. Stats reduce in head order afterwards, so the totals match a
+  // serial run.
+  MatrixF concat(n, d_model_);
+  const auto scatter = [&](std::int64_t head, const MatrixF& z) {
+    const std::int64_t base = head * h;
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t d = 0; d < h; ++d) {
         concat(i, base + d) = z(i, d);
       }
     }
-    ++stats_.heads_run;
+  };
+  if (backend_ == AttentionBackend::kSwatSimulator) {
+    const std::vector<FunctionalResult> results = sim_->run_heads(inputs);
+    for (std::int64_t head = 0; head < num_heads_; ++head) {
+      const FunctionalResult& res = results[static_cast<std::size_t>(head)];
+      scatter(head, res.z);
+      stats_.swat_offchip_traffic += res.total_read() + res.z_bytes_written;
+      stats_.swat_core_loads += res.window_core_loads +
+                                res.global_core_loads +
+                                res.random_core_loads;
+      ++stats_.heads_run;
+    }
+  } else {
+    parallel_for(0, num_heads_, 1, [&](std::int64_t h0, std::int64_t h1) {
+      for (std::int64_t head = h0; head < h1; ++head) {
+        scatter(head, attend_one_head(inputs[static_cast<std::size_t>(head)]));
+      }
+    });
+    stats_.heads_run = num_heads_;
   }
   return wo_.forward(concat);
 }

@@ -56,6 +56,9 @@ class MultiHeadAttention {
   std::int64_t parameters() const;
 
  private:
+  /// Host-side backends only (dense / window-exact); the SWAT backend goes
+  /// through FunctionalSimulator::run_heads so the per-head fan-out and the
+  /// stats live in one place per backend.
   MatrixF attend_one_head(const attn::HeadInput& head) const;
 
   std::int64_t d_model_;

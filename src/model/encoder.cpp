@@ -3,7 +3,28 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/thread_pool.hpp"
+
 namespace swat::model {
+
+namespace {
+
+constexpr std::int64_t kElemGrain = 1 << 14;
+
+/// out[i] += add[i] over the whole matrix, fanned out over the pool.
+void residual_add(MatrixF& out, const MatrixF& add) {
+  auto a = out.flat();
+  auto in = add.flat();
+  parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   a[static_cast<std::size_t>(i)] +=
+                       in[static_cast<std::size_t>(i)];
+                 }
+               });
+}
+
+}  // namespace
 
 EncoderConfig EncoderConfig::longformer_base(AttentionBackend backend) {
   EncoderConfig cfg;
@@ -31,22 +52,24 @@ EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
 MatrixF EncoderLayer::forward(const MatrixF& x) const {
   // Attention block with residual, post-norm.
   MatrixF attn_out = mha_.forward(x);
-  {
-    auto a = attn_out.flat();
-    auto in = x.flat();
-    for (std::size_t i = 0; i < a.size(); ++i) a[i] += in[i];
-  }
+  residual_add(attn_out, x);
   const MatrixF h = norm1_.forward(attn_out);
 
-  // FFN block with residual, post-norm.
+  // FFN block with residual, post-norm. The GELU is the largest elementwise
+  // pass in the layer (n x 4*d_model activations), so it fans out too.
   MatrixF f = ffn1_.forward(h);
-  for (float& v : f.flat()) v = gelu(v);
-  MatrixF f2 = ffn2_.forward(f);
   {
-    auto a = f2.flat();
-    auto in = h.flat();
-    for (std::size_t i = 0; i < a.size(); ++i) a[i] += in[i];
+    auto fv = f.flat();
+    parallel_for(0, static_cast<std::int64_t>(fv.size()), kElemGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i) {
+                     auto& v = fv[static_cast<std::size_t>(i)];
+                     v = gelu(v);
+                   }
+                 });
   }
+  MatrixF f2 = ffn2_.forward(f);
+  residual_add(f2, h);
   return norm2_.forward(f2);
 }
 
@@ -65,6 +88,9 @@ Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
 
 MatrixF Encoder::forward(const MatrixF& x) const {
   SWAT_EXPECTS(x.cols() == cfg_.d_model);
+  // Layers are sequentially dependent, so the sweep itself stays serial;
+  // the parallelism lives inside each layer (per-head attention, GEMM row
+  // blocks, elementwise passes).
   MatrixF h = x;
   for (const auto& layer : layers_) {
     h = layer->forward(h);

@@ -19,13 +19,16 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 
 MatrixF Linear::forward(const MatrixF& x) const {
   SWAT_EXPECTS(x.cols() == in_features());
-  MatrixF y = matmul_nt(x, weight_);
-  for (std::int64_t i = 0; i < y.rows(); ++i) {
-    auto row = y.row(i);
-    for (std::int64_t j = 0; j < y.cols(); ++j) {
-      row[static_cast<std::size_t>(j)] += bias_[static_cast<std::size_t>(j)];
-    }
+  if (weight_t_dirty_) {
+    weight_t_ = transpose(weight_);
+    weight_t_dirty_ = false;
   }
+  MatrixF y(x.rows(), out_features());
+  // The GEMM streams the cached W^T unit-stride and seeds the accumulator
+  // rows with the bias, so the bias add costs no extra pass over y.
+  detail::gemm(x.data(), in_features(), weight_t_.data(), out_features(),
+               y.data(), out_features(), x.rows(), out_features(),
+               in_features(), bias_.data(), /*parallel=*/true);
   return y;
 }
 

@@ -24,7 +24,12 @@ class Linear {
   std::int64_t in_features() const { return weight_.cols(); }
   std::int64_t out_features() const { return weight_.rows(); }
 
-  MatrixF& weight() { return weight_; }
+  /// Mutable access invalidates the cached transposed weights the GEMM
+  /// streams; the cache rebuilds lazily on the next forward().
+  MatrixF& weight() {
+    weight_t_dirty_ = true;
+    return weight_;
+  }
   const MatrixF& weight() const { return weight_; }
   std::vector<float>& bias() { return bias_; }
   const std::vector<float>& bias() const { return bias_; }
@@ -37,6 +42,12 @@ class Linear {
  private:
   MatrixF weight_;  // out x in
   std::vector<float> bias_;
+  // W^T cached so forward() doesn't re-transpose the constant weights per
+  // call (for single-token decode the transpose costs as much as the GEMM).
+  // Rebuilt lazily after weight() mutation; forward() stays logically const
+  // but is therefore not safe to call concurrently on one Linear instance.
+  mutable MatrixF weight_t_;  // in x out
+  mutable bool weight_t_dirty_ = true;
 };
 
 }  // namespace swat::model

@@ -3,11 +3,26 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace swat {
 
 FunctionalSimulator::FunctionalSimulator(SwatConfig cfg, FunctionalOptions opt)
     : cfg_(std::move(cfg)), opt_(opt) {
   cfg_.validate();
+}
+
+std::vector<FunctionalResult> FunctionalSimulator::run_heads(
+    std::span<const attn::HeadInput> heads) const {
+  std::vector<FunctionalResult> results(heads.size());
+  parallel_for(0, static_cast<std::int64_t>(heads.size()), 1,
+               [&](std::int64_t h0, std::int64_t h1) {
+                 for (std::int64_t i = h0; i < h1; ++i) {
+                   results[static_cast<std::size_t>(i)] =
+                       run(heads[static_cast<std::size_t>(i)]);
+                 }
+               });
+  return results;
 }
 
 FunctionalResult FunctionalSimulator::run(const attn::HeadInput& in) const {

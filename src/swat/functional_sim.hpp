@@ -20,6 +20,9 @@
 //   * off-chip reads equal one load per used input element.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "attention/reference.hpp"
 #include "hw/hbm.hpp"
 #include "swat/attention_core.hpp"
@@ -61,6 +64,13 @@ class FunctionalSimulator {
 
   /// Run one attention head end to end.
   FunctionalResult run(const attn::HeadInput& in) const;
+
+  /// Run a batch of heads. Heads are independent (run() touches no mutable
+  /// simulator state), so they fan out over the thread pool — the host-side
+  /// analogue of instantiating one accelerator pipeline per head. Results
+  /// are returned in input order and are identical to serial run() calls.
+  std::vector<FunctionalResult> run_heads(
+      std::span<const attn::HeadInput> heads) const;
 
   const SwatConfig& config() const { return cfg_; }
 

@@ -1,22 +1,113 @@
 // Host-side dense linear-algebra kernels used by the reference attention
-// implementations and the baseline models. Deliberately simple and obviously
-// correct: these are the oracles the hardware models are validated against.
+// implementations and the baseline models.
+//
+// Two tiers:
+//  * `*_naive` — the original scalar triple-loops, deliberately simple and
+//    obviously correct. These are the oracles the blocked kernels (and the
+//    hardware models) are validated against, and the baseline the
+//    microbenchmarks measure speedups over.
+//  * `matmul` / `matmul_nt` / `transpose` and their allocation-free
+//    `*_into` variants — cache-blocked, SIMD-friendly, parallelized over
+//    row blocks via the shared ThreadPool. Deterministic for any thread
+//    count (the reduction order per output element is fixed; only the
+//    partition of rows over threads varies).
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 
 namespace swat {
 
-/// C = A * B  (A: m x k, B: k x n).
+/// A reusable scratch-memory arena. `take(n)` hands out a float span of
+/// length n, reusing a previously released slab when one is large enough;
+/// `release` returns a span to the arena. Slabs are stable: taking a new
+/// span never invalidates live ones. Intended use is the thread-local
+/// instance below, which makes the hot paths allocation-free after warmup.
+class Workspace {
+ public:
+  std::span<float> take(std::size_t n);
+  void release(std::span<float> s);
+
+  /// Slabs currently allocated (live + free) — exposed for tests.
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<float[]> data;
+    std::size_t capacity = 0;
+    bool in_use = false;
+  };
+  std::vector<Slab> slabs_;
+};
+
+/// RAII lease of a Workspace span: releases on scope exit, so a throwing
+/// kernel body (e.g. a contract violation rethrown out of parallel_for)
+/// cannot permanently pin a slab.
+class WorkspaceLease {
+ public:
+  WorkspaceLease(Workspace& ws, std::size_t n) : ws_(ws), span_(ws.take(n)) {}
+  ~WorkspaceLease() { ws_.release(span_); }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  std::span<float> span() const { return span_; }
+  float* data() const { return span_.data(); }
+  float& operator[](std::size_t i) const { return span_[i]; }
+
+ private:
+  Workspace& ws_;
+  std::span<float> span_;
+};
+
+/// Per-thread workspace used by the kernels themselves.
+Workspace& tls_workspace();
+
+/// C = A * B  (A: m x k, B: k x n). Blocked + parallel.
 MatrixF matmul(const MatrixF& a, const MatrixF& b);
 
 /// C = A * B^T (A: m x k, B: n x k). Attention computes S = Q * K^T; keeping
-/// the transpose inside the kernel avoids materializing K^T.
+/// the transpose inside the kernel avoids materializing K^T at the call
+/// site (internally B is transposed once into the workspace so the inner
+/// loops stream unit-stride). Blocked + parallel.
 MatrixF matmul_nt(const MatrixF& a, const MatrixF& b);
 
 MatrixF transpose(const MatrixF& a);
+
+/// Allocation-free variants: `out` must already have the result shape.
+void matmul_into(const MatrixF& a, const MatrixF& b, MatrixF& out);
+void matmul_nt_into(const MatrixF& a, const MatrixF& b, MatrixF& out);
+void transpose_into(const MatrixF& a, MatrixF& out);
+
+/// out = A * B^T + broadcast bias row (bias length = B rows). Fused so the
+/// Linear layer initializes the accumulator with the bias instead of making
+/// a second pass over the output.
+void matmul_nt_bias_into(const MatrixF& a, const MatrixF& b,
+                         std::span<const float> bias, MatrixF& out);
+
+/// Original scalar reference kernels (the oracles' oracle).
+MatrixF matmul_naive(const MatrixF& a, const MatrixF& b);
+MatrixF matmul_nt_naive(const MatrixF& a, const MatrixF& b);
+
+namespace detail {
+
+/// Raw strided GEMM: C[m x n] = A[m x k] * B[k x n] (+ optional broadcast
+/// init row), row-major with leading dimensions lda/ldb/ldc. When
+/// `parallel` is set the m dimension is split over the thread pool.
+/// Exposed for kernels that operate on sub-views (e.g. sliding-chunk
+/// tiles slicing rows out of Q and columns out of K^T).
+void gemm(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float* c, std::int64_t ldc, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float* init_row, bool parallel);
+
+/// Raw blocked transpose: T[cols x rows] = A[rows x cols]^T.
+void transpose_raw(const float* a, std::int64_t lda, float* t,
+                   std::int64_t ldt, std::int64_t rows, std::int64_t cols);
+
+}  // namespace detail
 
 /// Numerically-stable row softmax: subtracts the row max before
 /// exponentiation. This is the reference semantics for all accuracy
@@ -26,7 +117,9 @@ void row_softmax_stable(MatrixF& m);
 /// "Naive" row softmax exactly as written in the paper's Eq. 1: exp without
 /// max subtraction, then divide by the row sum of exponentials. SWAT's fused
 /// datapath implements this form; keeping both lets the tests quantify when
-/// the two diverge (large positive scores overflow fp16 exp).
+/// the two diverge (large positive scores overflow fp16 exp). Exponentials
+/// and the row sum are evaluated in double so large-magnitude logits (up to
+/// ~709) don't overflow the accumulator and trip the sum > 0 invariant.
 void row_softmax_naive(MatrixF& m);
 
 /// Dot product of two equal-length spans in float.

@@ -36,25 +36,28 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   T& operator()(std::int64_t r, std::int64_t c) {
-    SWAT_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
   const T& operator()(std::int64_t r, std::int64_t c) const {
-    SWAT_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
 
   std::span<T> row(std::int64_t r) {
-    SWAT_EXPECTS(r >= 0 && r < rows_);
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_);
     return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
   }
   std::span<const T> row(std::int64_t r) const {
-    SWAT_EXPECTS(r >= 0 && r < rows_);
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_);
     return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
   }
 
   std::span<T> flat() { return {data_.data(), data_.size()}; }
   std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
 
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;

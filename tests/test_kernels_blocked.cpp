@@ -1,0 +1,197 @@
+// Property tests for the blocked/parallel kernel backend against the seed
+// scalar reference kernels, plus the Workspace arena and the double-
+// accumulating naive softmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+struct Shape {
+  std::int64_t m, k, n;
+};
+
+// Odd shapes on purpose: unit, tall, wide, prime-ish, and sizes straddling
+// the kernel's row/depth block boundaries (64 / 256).
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 3},    {3, 1, 5},    {17, 5, 1},
+    {5, 3, 257}, {257, 3, 5},  {65, 129, 33}, {64, 64, 64},
+    {63, 65, 2}, {2, 300, 67}, {128, 256, 64},
+};
+
+// The blocked kernels reassociate the k-reduction; for unit-variance inputs
+// the accumulated float rounding grows with the reduction depth, so the
+// 1e-5 bound for small/odd shapes is widened for the deep ones.
+float tolerance_for_depth(std::int64_t k) {
+  return k <= 64 ? 1e-5f : 1e-4f;
+}
+
+TEST(BlockedMatmul, MatchesNaiveAcrossOddShapes) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const MatrixF a = random_normal(s.m, s.k, rng);
+    const MatrixF b = random_normal(s.k, s.n, rng);
+    swat::testing::expect_matrix_near(matmul(a, b), matmul_naive(a, b),
+                                      tolerance_for_depth(s.k),
+                                      "blocked matmul vs naive");
+  }
+}
+
+TEST(BlockedMatmulNt, MatchesNaiveAcrossOddShapes) {
+  Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const MatrixF a = random_normal(s.m, s.k, rng);
+    const MatrixF b = random_normal(s.n, s.k, rng);
+    swat::testing::expect_matrix_near(matmul_nt(a, b), matmul_nt_naive(a, b),
+                                      tolerance_for_depth(s.k),
+                                      "blocked matmul_nt vs naive");
+  }
+}
+
+TEST(BlockedMatmul, IntoVariantsMatchAndAreReusable) {
+  Rng rng(13);
+  const MatrixF a = random_normal(33, 65, rng);
+  const MatrixF b = random_normal(65, 17, rng);
+  const MatrixF bt = random_normal(17, 65, rng);
+  MatrixF out(33, 17);
+  // Two passes through the same `out` buffer: results must not depend on
+  // the previous contents.
+  for (int pass = 0; pass < 2; ++pass) {
+    matmul_into(a, b, out);
+    swat::testing::expect_matrix_near(out, matmul_naive(a, b), 1e-5f,
+                                      "matmul_into");
+    matmul_nt_into(a, bt, out);
+    swat::testing::expect_matrix_near(out, matmul_nt_naive(a, bt), 1e-5f,
+                                      "matmul_nt_into");
+  }
+}
+
+TEST(BlockedMatmul, IntoShapeMismatchThrows) {
+  const MatrixF a(4, 6);
+  const MatrixF b(6, 8);
+  MatrixF wrong(4, 7);
+  EXPECT_THROW(matmul_into(a, b, wrong), std::invalid_argument);
+  MatrixF wrong2(5, 8);
+  EXPECT_THROW(matmul_into(a, b, wrong2), std::invalid_argument);
+}
+
+TEST(BlockedMatmulNt, FusedBiasMatchesSeparateAdd) {
+  Rng rng(14);
+  const MatrixF a = random_normal(19, 31, rng);
+  const MatrixF b = random_normal(23, 31, rng);
+  std::vector<float> bias(23);
+  for (std::size_t j = 0; j < bias.size(); ++j) {
+    bias[j] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  MatrixF fused(19, 23);
+  matmul_nt_bias_into(a, b, {bias.data(), bias.size()}, fused);
+  MatrixF expected = matmul_nt_naive(a, b);
+  for (std::int64_t i = 0; i < expected.rows(); ++i) {
+    for (std::int64_t j = 0; j < expected.cols(); ++j) {
+      expected(i, j) += bias[static_cast<std::size_t>(j)];
+    }
+  }
+  swat::testing::expect_matrix_near(fused, expected, 1e-5f, "fused bias");
+}
+
+TEST(BlockedTranspose, MatchesElementwise) {
+  Rng rng(15);
+  for (const Shape& s : kShapes) {
+    const MatrixF a = random_normal(s.m, s.n, rng);
+    const MatrixF t = transpose(a);
+    ASSERT_EQ(t.rows(), a.cols());
+    ASSERT_EQ(t.cols(), a.rows());
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      for (std::int64_t j = 0; j < a.cols(); ++j) {
+        ASSERT_EQ(t(j, i), a(i, j));
+      }
+    }
+  }
+}
+
+TEST(Workspace, ReusesSlabsAfterRelease) {
+  Workspace ws;
+  auto s1 = ws.take(1024);
+  EXPECT_EQ(ws.slab_count(), 1u);
+  ws.release(s1);
+  // Same-size retake reuses the slab instead of allocating.
+  auto s2 = ws.take(512);
+  EXPECT_EQ(ws.slab_count(), 1u);
+  EXPECT_EQ(s2.data(), s1.data());
+  // A second live span while s2 is held needs a new slab...
+  auto s3 = ws.take(512);
+  EXPECT_EQ(ws.slab_count(), 2u);
+  EXPECT_NE(s3.data(), s2.data());
+  ws.release(s3);
+  ws.release(s2);
+  // ...but steady-state cycles stay allocation-free.
+  for (int i = 0; i < 10; ++i) {
+    auto a = ws.take(700);
+    auto b = ws.take(300);
+    ws.release(a);
+    ws.release(b);
+  }
+  EXPECT_EQ(ws.slab_count(), 2u);
+}
+
+TEST(Workspace, GrowingSizesDropStaleSlabs) {
+  // A sweep with monotonically growing requests must not retain one slab
+  // per historical high-water size.
+  Workspace ws;
+  for (std::size_t n = 64; n <= 1 << 16; n *= 2) {
+    auto s = ws.take(n);
+    ws.release(s);
+  }
+  EXPECT_EQ(ws.slab_count(), 1u);
+}
+
+TEST(Workspace, ReleasingForeignSpanThrows) {
+  Workspace ws;
+  std::vector<float> foreign(8);
+  EXPECT_THROW(ws.release({foreign.data(), foreign.size()}),
+               std::invalid_argument);
+}
+
+TEST(RowSoftmaxNaive, SurvivesLargeMagnitudeLogits) {
+  // exp(100) overflows float; the seed implementation produced inf/inf and
+  // tripped SWAT_ENSURES(sum > 0). The double accumulator keeps every
+  // logit up to ~709 finite.
+  MatrixF m(1, 3);
+  m(0, 0) = 100.0f;
+  m(0, 1) = 101.0f;
+  m(0, 2) = 99.0f;
+  ASSERT_NO_THROW(row_softmax_naive(m));
+  double sum = 0.0;
+  for (float v : m.flat()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Same ratios as the stable softmax on the shifted logits.
+  MatrixF shifted(1, 3);
+  shifted(0, 0) = 0.0f;
+  shifted(0, 1) = 1.0f;
+  shifted(0, 2) = -1.0f;
+  row_softmax_naive(shifted);
+  swat::testing::expect_matrix_near(m, shifted, 1e-6f,
+                                    "softmax shift invariance");
+}
+
+TEST(RowSoftmaxNaive, MatchesStableInSafeRange) {
+  Rng rng(16);
+  MatrixF a = random_normal(9, 33, rng);
+  MatrixF b = a;
+  row_softmax_naive(a);
+  row_softmax_stable(b);
+  swat::testing::expect_matrix_near(a, b, 1e-5f, "naive vs stable");
+}
+
+}  // namespace
+}  // namespace swat

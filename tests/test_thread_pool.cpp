@@ -1,0 +1,201 @@
+// Tests for the fork-join thread pool and for the determinism guarantee of
+// the parallelized hot paths: results and model statistics are bit-identical
+// for thread counts {1, 4}.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "attention/sliding_chunks.hpp"
+#include "common/thread_pool.hpp"
+#include "model/attention_layer.hpp"
+#include "swat/functional_sim.hpp"
+#include "tensor/kernels.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+/// Restores the ambient thread count on scope exit so tests don't leak
+/// pool configuration into each other.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard(4);
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadCountGuard guard(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A range no longer than the grain runs inline as one chunk.
+  std::int64_t seen_b = -1, seen_e = -1;
+  parallel_for(3, 7, 16, [&](std::int64_t b, std::int64_t e) {
+    seen_b = b;
+    seen_e = e;
+  });
+  EXPECT_EQ(seen_b, 3);
+  EXPECT_EQ(seen_e, 7);
+}
+
+TEST(ThreadPool, NeverInvokesBodyWithInvertedRange) {
+  ThreadCountGuard guard(4);
+  // 33 indices over 32 max chunks makes ceil-division chunking overshoot;
+  // the overshot chunks must be skipped, not passed to the body inverted.
+  std::atomic<std::int64_t> covered{0};
+  std::atomic<bool> inverted{false};
+  parallel_for(0, 33, 1, [&](std::int64_t b, std::int64_t e) {
+    if (b >= e) inverted.store(true);
+    covered.fetch_add(e - b);
+  });
+  EXPECT_FALSE(inverted.load());
+  EXPECT_EQ(covered.load(), 33);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadCountGuard guard(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      // Must not deadlock; inner loop degrades to a serial call.
+      parallel_for(0, 100, 1, [&](std::int64_t ib, std::int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, PropagatesExceptionsToCaller) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      parallel_for(0, 1000, 1,
+                   [&](std::int64_t b, std::int64_t) {
+                     if (b >= 500) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SetNumThreadsReconfigures) {
+  ThreadCountGuard guard(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  EXPECT_THROW(set_num_threads(0), std::invalid_argument);
+}
+
+TEST(Determinism, BlockedMatmulIdenticalAcrossThreadCounts) {
+  Rng rng(21);
+  const MatrixF a = random_normal(130, 70, rng);
+  const MatrixF b = random_normal(70, 90, rng);
+  MatrixF c1, c4;
+  {
+    ThreadCountGuard guard(1);
+    c1 = matmul(a, b);
+  }
+  {
+    ThreadCountGuard guard(4);
+    c4 = matmul(a, b);
+  }
+  swat::testing::expect_matrix_equal(c4, c1, "matmul threads 1 vs 4");
+}
+
+TEST(Determinism, SlidingChunksIdenticalAcrossThreadCounts) {
+  Rng rng(22);
+  const auto in = attn::random_head_input(256, 16, rng);
+  attn::SlidingChunksResult r1, r4;
+  {
+    ThreadCountGuard guard(1);
+    r1 = attn::sliding_chunks_attention(in, 32);
+  }
+  {
+    ThreadCountGuard guard(4);
+    r4 = attn::sliding_chunks_attention(in, 32);
+  }
+  swat::testing::expect_matrix_equal(r4.z, r1.z,
+                                     "sliding chunks threads 1 vs 4");
+  EXPECT_EQ(r4.dense_mul_adds, r1.dense_mul_adds);
+  EXPECT_EQ(r4.useful_mul_adds, r1.useful_mul_adds);
+  EXPECT_EQ(r4.num_tiles, r1.num_tiles);
+  EXPECT_EQ(r4.num_chunks, r1.num_chunks);
+  EXPECT_EQ(r4.peak_score_elems, r1.peak_score_elems);
+}
+
+TEST(Determinism, FunctionalSimRunHeadsMatchesSerialRuns) {
+  Rng rng(24);
+  SwatConfig cfg;
+  cfg.head_dim = 8;
+  cfg.window_cores = 16;
+  const FunctionalSimulator sim(cfg);
+  std::vector<attn::HeadInput> heads;
+  for (int i = 0; i < 3; ++i) {
+    heads.push_back(attn::random_head_input(40, 8, rng));
+  }
+  ThreadCountGuard guard(4);
+  const auto batch = sim.run_heads(heads);
+  ASSERT_EQ(batch.size(), heads.size());
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    const FunctionalResult serial = sim.run(heads[i]);
+    swat::testing::expect_matrix_equal(batch[i].z, serial.z,
+                                       "run_heads vs serial run");
+    EXPECT_EQ(batch[i].attended_pairs, serial.attended_pairs);
+    EXPECT_EQ(batch[i].window_core_loads, serial.window_core_loads);
+    EXPECT_EQ(batch[i].kv_bytes_read.count, serial.kv_bytes_read.count);
+  }
+}
+
+TEST(Determinism, MultiHeadAttentionIdenticalAcrossThreadCounts) {
+  Rng rng(23);
+  const MatrixF x = random_normal(24, 32, rng);
+  SwatConfig cfg;
+  cfg.head_dim = 8;
+  cfg.window_cores = 16;
+  MatrixF y1, y4;
+  {
+    ThreadCountGuard guard(1);
+    Rng wrng(77);
+    model::MultiHeadAttention mha(32, 4,
+                                  model::AttentionBackend::kWindowExact, cfg,
+                                  wrng);
+    y1 = mha.forward(x);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng wrng(77);
+    model::MultiHeadAttention mha(32, 4,
+                                  model::AttentionBackend::kWindowExact, cfg,
+                                  wrng);
+    y4 = mha.forward(x);
+  }
+  swat::testing::expect_matrix_equal(y4, y1, "MHA threads 1 vs 4");
+}
+
+}  // namespace
+}  // namespace swat

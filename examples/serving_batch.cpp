@@ -1,0 +1,99 @@
+// Batched multi-request serving through swat::Runtime.
+//
+// Eight users submit encoder requests of different lengths at once. The
+// runtime length-buckets them, packs each bucket into one ragged batch (no
+// padding), runs the batches through the encoder with every attention head
+// routed through the SWAT functional simulator, and hands back per-request
+// outputs and counters — bit-identical to serving each request alone, but
+// with the position-independent layers running as whole-batch GEMMs and
+// the attention (request, head) tasks fanned out over the thread pool.
+//
+//   $ ./serving_batch
+//
+// What to look at:
+//   * requests land in batches by length class (the "batch" column);
+//   * per-request off-chip traffic is separable — the totals row is the
+//     exact sum of the per-request rows, so accelerator accounting
+//     reconciles no matter how requests were packed;
+//   * the spot check proves a batched output is bit-identical to the
+//     sequential Encoder::forward path.
+#include <iostream>
+#include <vector>
+
+#include "eval/table.hpp"
+#include "model/encoder.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  using swat::eval::Table;
+  using namespace swat::model;
+
+  // A compact geometry so the value-level simulator serves 8 requests in
+  // seconds: d_model 64, 2 heads of dim 32, 32-core SWAT band.
+  EncoderConfig cfg;
+  cfg.d_model = 64;
+  cfg.num_heads = 2;
+  cfg.ffn_mult = 2;
+  cfg.layers = 2;
+  cfg.backend = AttentionBackend::kSwatSimulator;
+  cfg.swat = swat::SwatConfig();
+  cfg.swat.head_dim = 32;
+  cfg.swat.window_cores = 32;
+  cfg.weight_seed = 7;
+
+  swat::BatchingOptions batching;
+  batching.max_batch_requests = 8;
+  batching.bucket_width = 64;
+
+  swat::Runtime runtime(cfg, batching);
+  std::cout << "Serving runtime: " << cfg.layers << "-layer encoder, "
+            << cfg.num_heads << " heads -> " << cfg.swat.summary() << "\n"
+            << "Batching: <= " << batching.max_batch_requests
+            << " requests / batch, bucket width " << batching.bucket_width
+            << " tokens\n\n";
+
+  // Eight concurrent users, ragged lengths. Lengths 33..64 share one
+  // length class, 65..128 the next — watch the batch column.
+  const std::vector<std::int64_t> lengths = {48, 112, 64, 33, 96, 128, 40, 80};
+  swat::Rng rng(42);
+  std::vector<swat::InferenceRequest> requests;
+  for (std::size_t u = 0; u < lengths.size(); ++u) {
+    swat::InferenceRequest req;
+    req.id = 100 + u;
+    req.input = swat::random_normal(lengths[u], cfg.d_model, rng);
+    requests.push_back(std::move(req));
+  }
+
+  const std::vector<swat::RequestResult> results = runtime.run(requests);
+
+  Table t({"request", "tokens", "batch", "SWAT traffic", "core loads",
+           "model MFLOP"});
+  swat::Bytes traffic_sum;
+  for (const swat::RequestResult& r : results) {
+    t.add_row({std::to_string(r.id), std::to_string(r.counters.tokens),
+               std::to_string(r.counters.batch_index),
+               Table::mb(static_cast<double>(
+                   r.counters.swat_offchip_traffic.count)),
+               std::to_string(r.counters.swat_core_loads),
+               Table::num(r.counters.model_flops / 1e6)});
+    traffic_sum += r.counters.swat_offchip_traffic;
+  }
+  t.print(std::cout);
+
+  const swat::RuntimeTotals& totals = runtime.totals();
+  std::cout << "\nTotals: " << totals.requests << " requests, "
+            << totals.tokens << " tokens in " << totals.batches
+            << " batches; traffic " << Table::mb(static_cast<double>(
+                                            totals.swat_offchip_traffic.count))
+            << " (sum of rows: "
+            << Table::mb(static_cast<double>(traffic_sum.count))
+            << " -- reconciles exactly)\n\n";
+
+  // Spot check: the batched output of request 0 is bit-identical to the
+  // sequential per-request path.
+  const Encoder oracle(cfg);
+  const swat::MatrixF solo = oracle.forward(requests[0].input);
+  std::cout << "Bit-identity vs sequential Encoder::forward: "
+            << (results[0].output == solo ? "EXACT" : "MISMATCH") << "\n";
+  return results[0].output == solo ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by the CI docs job).
+
+1. Every relative markdown link in README.md, docs/*.md and
+   examples/README.md must resolve to an existing file or directory.
+2. Every src/<subsystem>/ directory must be mentioned in
+   docs/ARCHITECTURE.md — the architecture map may not silently go stale
+   when a subsystem is added.
+
+Exits non-zero with one line per violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images is unnecessary; they must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "examples" / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links(errors):
+    for doc in doc_files():
+        for target in LINK_RE.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_architecture_mentions(errors):
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        errors.append("docs/ARCHITECTURE.md is missing")
+        return
+    text = arch.read_text(encoding="utf-8")
+    for sub in sorted(p.name for p in (REPO / "src").iterdir() if p.is_dir()):
+        if f"src/{sub}" not in text:
+            errors.append(
+                f"docs/ARCHITECTURE.md: subsystem src/{sub}/ is not mentioned")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_architecture_mentions(errors)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not errors:
+        print(f"docs OK: {len(doc_files())} files checked, "
+              "all links resolve, architecture map covers src/")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

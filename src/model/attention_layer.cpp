@@ -58,66 +58,134 @@ MatrixF MultiHeadAttention::attend_one_head(
 
 MatrixF MultiHeadAttention::forward(const MatrixF& x) const {
   SWAT_EXPECTS(x.cols() == d_model_);
-  const std::int64_t n = x.rows();
+  if (x.rows() == 0) {
+    // Nothing to attend. forward_batch requires non-empty sequences, so
+    // preserve the historical single-sequence behaviour here.
+    stats_ = AttentionStats{};
+    if (backend_ != AttentionBackend::kSwatSimulator) {
+      stats_.heads_run = num_heads_;
+    }
+    return MatrixF(0, d_model_);
+  }
+  const std::int64_t offsets[2] = {0, x.rows()};
+  return forward_batch(x, offsets, {});
+}
+
+namespace {
+
+/// Per-thread staging buffers for one (sequence, head) attention task.
+/// Reusing one HeadInput per worker keeps the batched hot path
+/// allocation-free after warmup (Matrix::reshape retains capacity). Safe
+/// because each task runs entirely on one thread and the attention kernels
+/// do not retain references past their return.
+attn::HeadInput& tls_head_staging() {
+  thread_local attn::HeadInput in;
+  return in;
+}
+
+}  // namespace
+
+MatrixF MultiHeadAttention::forward_batch(
+    const MatrixF& x, std::span<const std::int64_t> offsets,
+    std::span<AttentionStats> stats) const {
+  SWAT_EXPECTS(x.cols() == d_model_);
+  SWAT_EXPECTS(offsets.size() >= 2);
+  const std::int64_t nseq = static_cast<std::int64_t>(offsets.size()) - 1;
+  SWAT_EXPECTS(offsets.front() == 0 && offsets.back() == x.rows());
+  for (std::int64_t s = 0; s < nseq; ++s) {
+    SWAT_EXPECTS(offsets[static_cast<std::size_t>(s)] <
+                 offsets[static_cast<std::size_t>(s + 1)]);
+  }
+  SWAT_EXPECTS(stats.empty() ||
+               static_cast<std::int64_t>(stats.size()) == nseq);
   const std::int64_t h = head_dim();
   stats_ = AttentionStats{};
 
+  // Projections run over the whole packed batch: one GEMM spanning every
+  // sequence's rows instead of one GEMM per sequence, so the row-block
+  // fan-out sees nseq-times more rows. Each output row depends only on its
+  // own input row, so packed rows are bit-identical to per-sequence calls.
   const MatrixF q = wq_.forward(x);
   const MatrixF k = wk_.forward(x);
   const MatrixF v = wv_.forward(x);
 
-  // Per-head slices; the 1/sqrt(h) scaling folds into Q (the convention the
-  // attention kernels in this repository assume). Slicing fans out over the
-  // thread pool (each head fills its own HeadInput).
+  // The 1/sqrt(h) scaling folds into Q (the convention the attention
+  // kernels in this repository assume).
   const float scale = 1.0f / std::sqrt(static_cast<float>(h));
-  std::vector<attn::HeadInput> inputs(static_cast<std::size_t>(num_heads_));
-  parallel_for(0, num_heads_, 1, [&](std::int64_t h0, std::int64_t h1) {
-    for (std::int64_t head = h0; head < h1; ++head) {
-      attn::HeadInput& in = inputs[static_cast<std::size_t>(head)];
-      in.q = MatrixF(n, h);
-      in.k = MatrixF(n, h);
-      in.v = MatrixF(n, h);
-      const std::int64_t base = head * h;
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t d = 0; d < h; ++d) {
-          in.q(i, d) = q(i, base + d) * scale;
-          in.k(i, d) = k(i, base + d);
-          in.v(i, d) = v(i, base + d);
-        }
-      }
-    }
-  });
+  const std::int64_t tasks = nseq * num_heads_;
+  const auto seg_of = [&](std::int64_t task) { return task / num_heads_; };
+  const auto head_of = [&](std::int64_t task) { return task % num_heads_; };
 
-  // Heads are independent; both backends fan the per-head work out over
-  // the pool. Stats reduce in head order afterwards, so the totals match a
-  // serial run.
-  MatrixF concat(n, d_model_);
-  const auto scatter = [&](std::int64_t head, const MatrixF& z) {
-    const std::int64_t base = head * h;
+  const auto slice_task = [&](std::int64_t task, attn::HeadInput& in) {
+    const std::int64_t row0 = offsets[static_cast<std::size_t>(seg_of(task))];
+    const std::int64_t n =
+        offsets[static_cast<std::size_t>(seg_of(task) + 1)] - row0;
+    const std::int64_t base = head_of(task) * h;
+    in.q.reshape(n, h);
+    in.k.reshape(n, h);
+    in.v.reshape(n, h);
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t d = 0; d < h; ++d) {
-        concat(i, base + d) = z(i, d);
+        in.q(i, d) = q(row0 + i, base + d) * scale;
+        in.k(i, d) = k(row0 + i, base + d);
+        in.v(i, d) = v(row0 + i, base + d);
       }
     }
   };
-  if (backend_ == AttentionBackend::kSwatSimulator) {
-    const std::vector<FunctionalResult> results = sim_->run_heads(inputs);
-    for (std::int64_t head = 0; head < num_heads_; ++head) {
-      const FunctionalResult& res = results[static_cast<std::size_t>(head)];
-      scatter(head, res.z);
-      stats_.swat_offchip_traffic += res.total_read() + res.z_bytes_written;
-      stats_.swat_core_loads += res.window_core_loads +
-                                res.global_core_loads +
-                                res.random_core_loads;
-      ++stats_.heads_run;
+
+  MatrixF concat(x.rows(), d_model_);
+  const auto scatter = [&](std::int64_t task, const MatrixF& z) {
+    const std::int64_t row0 = offsets[static_cast<std::size_t>(seg_of(task))];
+    const std::int64_t base = head_of(task) * h;
+    for (std::int64_t i = 0; i < z.rows(); ++i) {
+      for (std::int64_t d = 0; d < h; ++d) {
+        concat(row0 + i, base + d) = z(i, d);
+      }
     }
-  } else {
-    parallel_for(0, num_heads_, 1, [&](std::int64_t h0, std::int64_t h1) {
-      for (std::int64_t head = h0; head < h1; ++head) {
-        scatter(head, attend_one_head(inputs[static_cast<std::size_t>(head)]));
+  };
+
+  if (backend_ == AttentionBackend::kSwatSimulator) {
+    // The simulator allocates per-head core state internally anyway, so the
+    // batch path stages every task's input up front and reuses the
+    // run_heads fan-out. Counters reduce per sequence in head order — the
+    // same association order as a serial per-sequence run, so totals are
+    // thread-count- and batch-composition-invariant.
+    std::vector<attn::HeadInput> inputs(static_cast<std::size_t>(tasks));
+    parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        slice_task(t, inputs[static_cast<std::size_t>(t)]);
       }
     });
-    stats_.heads_run = num_heads_;
+    std::vector<FunctionalResult> results(static_cast<std::size_t>(tasks));
+    sim_->run_heads_into(inputs, results);
+    for (std::int64_t t = 0; t < tasks; ++t) {
+      const FunctionalResult& res = results[static_cast<std::size_t>(t)];
+      scatter(t, res.z);
+      AttentionStats one;
+      one.swat_offchip_traffic = res.total_read() + res.z_bytes_written;
+      one.swat_core_loads = res.window_core_loads + res.global_core_loads +
+                            res.random_core_loads;
+      one.heads_run = 1;
+      if (!stats.empty()) stats[static_cast<std::size_t>(seg_of(t))] += one;
+      stats_ += one;
+    }
+  } else {
+    // Host backends: each (sequence, head) task slices into the worker's
+    // thread-local staging, attends, and scatters into its disjoint block
+    // of the packed concat matrix.
+    parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        attn::HeadInput& in = tls_head_staging();
+        slice_task(t, in);
+        scatter(t, attend_one_head(in));
+      }
+    });
+    for (std::int64_t s = 0; s < nseq; ++s) {
+      AttentionStats one;
+      one.heads_run = num_heads_;
+      if (!stats.empty()) stats[static_cast<std::size_t>(s)] += one;
+      stats_ += one;
+    }
   }
   return wo_.forward(concat);
 }

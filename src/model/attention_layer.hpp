@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "attention/reference.hpp"
 #include "model/linear.hpp"
@@ -33,6 +34,13 @@ struct AttentionStats {
   Bytes swat_offchip_traffic;       ///< accumulated across heads (SWAT only)
   std::int64_t swat_core_loads = 0;
   std::int64_t heads_run = 0;
+
+  AttentionStats& operator+=(const AttentionStats& o) {
+    swat_offchip_traffic += o.swat_offchip_traffic;
+    swat_core_loads += o.swat_core_loads;
+    heads_run += o.heads_run;
+    return *this;
+  }
 };
 
 class MultiHeadAttention {
@@ -47,7 +55,27 @@ class MultiHeadAttention {
   /// Y = W_o . concat_heads(attend(W_q X, W_k X, W_v X)).
   MatrixF forward(const MatrixF& x) const;
 
-  /// Statistics from the most recent forward() (SWAT backend only).
+  /// Batched forward over a packed ragged batch: `x` stacks the rows of
+  /// `offsets.size() - 1` independent sequences, sequence s occupying rows
+  /// [offsets[s], offsets[s+1]). The Q/K/V and output projections run as
+  /// single GEMMs over all packed rows; attention fans the
+  /// (sequence, head) tasks out over the thread pool, so a batch exposes
+  /// sequences * heads -way parallelism where forward() exposes heads-way.
+  ///
+  /// Sequence s's output rows are bit-identical to forward() on that
+  /// sequence alone, for any thread count and any batch composition (every
+  /// kernel computes each output row with a fixed reduction order, and
+  /// attention never crosses an offsets boundary).
+  ///
+  /// Per-sequence counters are *added* into `stats` (size must equal the
+  /// sequence count, or empty to skip); last_stats() gets the batch total.
+  /// Like forward(), not safe to call concurrently on one instance.
+  MatrixF forward_batch(const MatrixF& x,
+                        std::span<const std::int64_t> offsets,
+                        std::span<AttentionStats> stats) const;
+
+  /// Statistics from the most recent forward()/forward_batch() (SWAT
+  /// backend only; summed over the batch for forward_batch).
   const AttentionStats& last_stats() const { return stats_; }
 
   AttentionBackend backend() const { return backend_; }
@@ -57,8 +85,8 @@ class MultiHeadAttention {
 
  private:
   /// Host-side backends only (dense / window-exact); the SWAT backend goes
-  /// through FunctionalSimulator::run_heads so the per-head fan-out and the
-  /// stats live in one place per backend.
+  /// through FunctionalSimulator::run_heads_into so the per-head fan-out
+  /// and the stats live in one place per backend.
   MatrixF attend_one_head(const attn::HeadInput& head) const;
 
   std::int64_t d_model_;

@@ -50,8 +50,18 @@ EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
       norm2_(cfg.d_model) {}
 
 MatrixF EncoderLayer::forward(const MatrixF& x) const {
-  // Attention block with residual, post-norm.
-  MatrixF attn_out = mha_.forward(x);
+  if (x.rows() == 0) return x;  // empty in, empty out (see MHA::forward)
+  const std::int64_t offsets[2] = {0, x.rows()};
+  return forward_batch(x, offsets, {});
+}
+
+MatrixF EncoderLayer::forward_batch(const MatrixF& x,
+                                    std::span<const std::int64_t> offsets,
+                                    std::span<AttentionStats> stats) const {
+  // Attention block with residual, post-norm. Attention is the only
+  // sequence-aware stage; everything below operates row-wise or
+  // element-wise on the packed matrix and so is batch-agnostic.
+  MatrixF attn_out = mha_.forward_batch(x, offsets, stats);
   residual_add(attn_out, x);
   const MatrixF h = norm1_.forward(attn_out);
 
@@ -88,12 +98,23 @@ Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
 
 MatrixF Encoder::forward(const MatrixF& x) const {
   SWAT_EXPECTS(x.cols() == cfg_.d_model);
+  if (x.rows() == 0) return x;  // empty in, empty out
+  const std::int64_t offsets[2] = {0, x.rows()};
+  return forward_batch(x, offsets, {});
+}
+
+MatrixF Encoder::forward_batch(
+    const MatrixF& packed, std::span<const std::int64_t> offsets,
+    std::span<AttentionStats> per_sequence_stats) const {
+  SWAT_EXPECTS(packed.cols() == cfg_.d_model);
+  for (AttentionStats& s : per_sequence_stats) s = AttentionStats{};
   // Layers are sequentially dependent, so the sweep itself stays serial;
-  // the parallelism lives inside each layer (per-head attention, GEMM row
-  // blocks, elementwise passes).
-  MatrixF h = x;
+  // the parallelism lives inside each layer (per-sequence-per-head
+  // attention tasks, GEMM row blocks over all packed rows, elementwise
+  // passes).
+  MatrixF h = packed;
   for (const auto& layer : layers_) {
-    h = layer->forward(h);
+    h = layer->forward_batch(h, offsets, per_sequence_stats);
   }
   return h;
 }

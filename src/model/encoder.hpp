@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "model/attention_layer.hpp"
@@ -31,6 +32,14 @@ class EncoderLayer {
 
   MatrixF forward(const MatrixF& x) const;
 
+  /// Batched forward over a packed ragged batch (see
+  /// MultiHeadAttention::forward_batch for the offsets convention and the
+  /// bit-identity guarantee). Per-sequence attention counters are added
+  /// into `stats` when non-empty.
+  MatrixF forward_batch(const MatrixF& x,
+                        std::span<const std::int64_t> offsets,
+                        std::span<AttentionStats> stats) const;
+
   const MultiHeadAttention& attention() const { return mha_; }
   std::int64_t parameters() const;
 
@@ -49,6 +58,22 @@ class Encoder {
 
   /// Forward over token embeddings X (seq_len x d_model).
   MatrixF forward(const MatrixF& x) const;
+
+  /// Batched forward: `packed` stacks the token embeddings of
+  /// `offsets.size() - 1` independent sequences, sequence s occupying rows
+  /// [offsets[s], offsets[s+1]). Position-independent layers (projections,
+  /// FFN, LayerNorm, residuals, GELU) run over all packed rows at once;
+  /// attention fans out over (sequence, head) tasks and never crosses a
+  /// sequence boundary. Sequence s's output rows are bit-identical to
+  /// forward() on that sequence alone, for any thread count and any batch
+  /// composition — the property the serving runtime's tests assert.
+  ///
+  /// `per_sequence_stats` (empty, or one slot per sequence — zeroed here)
+  /// receives each sequence's attention counters summed over layers, so
+  /// per-request traffic stays separable from the batch total.
+  MatrixF forward_batch(
+      const MatrixF& packed, std::span<const std::int64_t> offsets,
+      std::span<AttentionStats> per_sequence_stats = {}) const;
 
   const EncoderConfig& config() const { return cfg_; }
   std::int64_t parameters() const;

@@ -1,0 +1,62 @@
+#include "runtime/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+void BatchingOptions::validate() const {
+  SWAT_EXPECTS(max_batch_requests >= 1);
+  SWAT_EXPECTS(max_batch_tokens >= 1);
+  SWAT_EXPECTS(bucket_width >= 1);
+}
+
+std::vector<BatchPlanEntry> plan_batches(std::span<const std::int64_t> lengths,
+                                         const BatchingOptions& opt) {
+  opt.validate();
+  for (const std::int64_t len : lengths) SWAT_EXPECTS(len >= 1);
+
+  // Length class k holds lengths in ((k-1) * bucket_width, k * bucket_width].
+  std::vector<std::int64_t> keys;
+  keys.reserve(lengths.size());
+  for (const std::int64_t len : lengths) {
+    keys.push_back((len + opt.bucket_width - 1) / opt.bucket_width);
+  }
+  // One stable sort by class visits requests in (ascending class,
+  // submission order) — O(N log N) for any length distribution.
+  std::vector<std::size_t> order(lengths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+
+  std::vector<BatchPlanEntry> plan;
+  BatchPlanEntry batch;
+  batch.offsets.push_back(0);
+  const auto flush = [&] {
+    if (!batch.request_indices.empty()) {
+      plan.push_back(std::move(batch));
+      batch = BatchPlanEntry{};
+      batch.offsets.push_back(0);
+    }
+  };
+  std::int64_t current_key = 0;
+  for (const std::size_t i : order) {
+    const std::int64_t len = lengths[i];
+    if (!batch.request_indices.empty() &&
+        (keys[i] != current_key ||
+         batch.requests() >= opt.max_batch_requests ||
+         batch.rows() + len > opt.max_batch_tokens)) {
+      flush();
+    }
+    current_key = keys[i];
+    batch.request_indices.push_back(i);
+    batch.offsets.push_back(batch.rows() + len);
+  }
+  flush();
+  return plan;
+}
+
+}  // namespace swat

@@ -1,0 +1,55 @@
+// Length-bucketed batch planning for the serving runtime.
+//
+// Variable-length requests are grouped into buckets of similar length
+// (bucket key = ceil(len / bucket_width)) before being packed, so the
+// per-(sequence, head) attention tasks inside one fork-join batch have
+// comparable cost: the straggler task that decides the batch's wall time is
+// then barely longer than the average task. Within a bucket submission
+// order is preserved, and batches are cut greedily at max_batch_requests /
+// max_batch_tokens.
+//
+// The plan is a pure function of the length vector and the options —
+// deterministic for any thread count, which is what lets the runtime
+// guarantee bit-identical outputs regardless of SWAT_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swat {
+
+struct BatchingOptions {
+  /// Most requests packed into one batch.
+  std::int64_t max_batch_requests = 8;
+  /// Most total tokens packed into one batch. A single request longer than
+  /// this still forms its own (singleton) batch — requests are never split.
+  std::int64_t max_batch_tokens = 1 << 14;
+  /// Bucket granularity: requests with equal ceil(len / bucket_width) are
+  /// candidates for the same batch.
+  std::int64_t bucket_width = 64;
+
+  void validate() const;
+};
+
+/// One planned packed batch.
+struct BatchPlanEntry {
+  /// Indices into the submitted request span, in submission order.
+  std::vector<std::size_t> request_indices;
+  /// Packed row offsets, one per request plus a trailing total:
+  /// request_indices[i]'s rows occupy [offsets[i], offsets[i+1]).
+  std::vector<std::int64_t> offsets;
+
+  std::int64_t requests() const {
+    return static_cast<std::int64_t>(request_indices.size());
+  }
+  std::int64_t rows() const { return offsets.back(); }
+};
+
+/// Plan the packed batches for a submission of per-request sequence
+/// lengths (all must be >= 1). Buckets are visited in ascending length
+/// class; within a bucket, requests keep submission order.
+std::vector<BatchPlanEntry> plan_batches(std::span<const std::int64_t> lengths,
+                                         const BatchingOptions& opt);
+
+}  // namespace swat

@@ -1,0 +1,108 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "attention/flops.hpp"
+
+namespace swat {
+
+namespace {
+
+/// Analytic model cost of one request (all layers) from the encoder
+/// geometry — a pure function of the request length, so the batched and
+/// sequential paths trivially agree on it.
+double request_model_flops(const model::EncoderConfig& cfg,
+                           std::int64_t seq_len) {
+  attn::LayerShape shape;
+  shape.seq_len = seq_len;
+  shape.d_model = cfg.d_model;
+  shape.num_heads = cfg.num_heads;
+  shape.ffn_mult = cfg.ffn_mult;
+  const bool dense = cfg.backend == model::AttentionBackend::kDenseReference;
+  const attn::LayerCost cost = attn::analyze_layer(
+      shape,
+      dense ? attn::AttentionVariant::kDense : attn::AttentionVariant::kWindow,
+      cfg.swat.window_cores);
+  return cost.total_flops() * static_cast<double>(cfg.layers);
+}
+
+}  // namespace
+
+Runtime::Runtime(model::EncoderConfig cfg, BatchingOptions batching)
+    : encoder_(std::move(cfg)), batching_(batching) {
+  batching_.validate();
+}
+
+std::vector<RequestResult> Runtime::run(
+    std::span<const InferenceRequest> requests) {
+  const std::int64_t d_model = encoder_.config().d_model;
+  std::vector<std::int64_t> lengths;
+  lengths.reserve(requests.size());
+  for (const InferenceRequest& req : requests) {
+    SWAT_EXPECTS(req.input.cols() == d_model);
+    SWAT_EXPECTS(req.input.rows() >= 1);
+    lengths.push_back(req.input.rows());
+  }
+
+  std::vector<RequestResult> results(requests.size());
+  const std::vector<BatchPlanEntry> plan = plan_batches(lengths, batching_);
+
+  for (std::size_t b = 0; b < plan.size(); ++b) {
+    const BatchPlanEntry& batch = plan[b];
+    const std::int64_t rows = batch.rows();
+
+    // Pack: each request's rows are contiguous row-major, so one memcpy per
+    // request moves its whole block into the reused staging matrix.
+    packed_.reshape(rows, d_model);
+    const std::vector<std::int64_t>& offsets = batch.offsets;
+    for (std::int64_t i = 0; i < batch.requests(); ++i) {
+      const InferenceRequest& req =
+          requests[batch.request_indices[static_cast<std::size_t>(i)]];
+      std::memcpy(packed_.row(offsets[static_cast<std::size_t>(i)]).data(),
+                  req.input.data(),
+                  static_cast<std::size_t>(req.input.size()) * sizeof(float));
+    }
+
+    seg_stats_.assign(static_cast<std::size_t>(batch.requests()), {});
+    const MatrixF out = encoder_.forward_batch(packed_, offsets, seg_stats_);
+
+    // Unpack into per-request results and counters.
+    for (std::int64_t i = 0; i < batch.requests(); ++i) {
+      const std::size_t ri = batch.request_indices[static_cast<std::size_t>(i)];
+      const InferenceRequest& req = requests[ri];
+      RequestResult& res = results[ri];
+      res.id = req.id;
+      res.output = MatrixF(req.input.rows(), d_model);
+      std::memcpy(res.output.data(),
+                  out.row(offsets[static_cast<std::size_t>(i)]).data(),
+                  static_cast<std::size_t>(res.output.size()) * sizeof(float));
+
+      const model::AttentionStats& st =
+          seg_stats_[static_cast<std::size_t>(i)];
+      res.counters.tokens = req.input.rows();
+      res.counters.batch_index = static_cast<std::int64_t>(b);
+      res.counters.swat_offchip_traffic = st.swat_offchip_traffic;
+      res.counters.swat_core_loads = st.swat_core_loads;
+      res.counters.heads_run = st.heads_run;
+      res.counters.model_flops =
+          request_model_flops(encoder_.config(), req.input.rows());
+
+      ++totals_.requests;
+      totals_.tokens += res.counters.tokens;
+      totals_.swat_offchip_traffic += res.counters.swat_offchip_traffic;
+      totals_.swat_core_loads += res.counters.swat_core_loads;
+      totals_.heads_run += res.counters.heads_run;
+      totals_.model_flops += res.counters.model_flops;
+    }
+    ++totals_.batches;
+  }
+  return results;
+}
+
+RequestResult Runtime::run_one(const InferenceRequest& request) {
+  std::vector<RequestResult> results = run({&request, 1});
+  return std::move(results.front());
+}
+
+}  // namespace swat

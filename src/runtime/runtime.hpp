@@ -1,0 +1,115 @@
+// swat::Runtime — batched multi-request inference driver.
+//
+// The entry points elsewhere in this repository process one sequence at a
+// time; this subsystem is the serving layer that turns the batched encoder
+// path into a multi-user workload driver:
+//
+//   1. N variable-length encoder requests are length-bucketed
+//      (runtime/batcher.hpp) so the attention tasks of one batch have
+//      comparable cost;
+//   2. each bucket is packed into a single ragged batch matrix (no padding
+//      — offsets mark the sequence boundaries);
+//   3. batches run through Encoder::forward_batch, where the
+//      position-independent layers execute as single GEMMs over all packed
+//      rows and attention fans out over (sequence, head) tasks on the
+//      shared ThreadPool;
+//   4. outputs are unpacked and returned in submission order, each with its
+//      own separable counters.
+//
+// Guarantees (asserted by tests/test_runtime.cpp):
+//   * every request's output is bit-identical to running it alone through
+//     Encoder::forward, for any SWAT_THREADS and any batch composition;
+//   * per-request counters are identical to a sequential run, and their
+//     sum equals the runtime's cumulative totals — the paper eval tables
+//     reconcile whether traffic is accounted per request or per batch;
+//   * with a host attention backend, serving after a warmup run at the
+//     high-water batch shape allocates no packed-activation staging
+//     (Matrix::reshape + per-worker Workspace arenas reuse capacity across
+//     requests). The SWAT-simulator backend allocates per-head core state
+//     inside the simulator by design — it is a value-level model, not a
+//     serving hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/encoder.hpp"
+#include "runtime/batcher.hpp"
+
+namespace swat {
+
+/// Per-request accounting, separable from the batch it was served in.
+struct RequestCounters {
+  std::int64_t tokens = 0;
+  /// Index of the packed batch (within the run() call) that served this
+  /// request — introspection for tests and the serving example.
+  std::int64_t batch_index = -1;
+
+  // Attention counters measured by the model (SWAT backend only for the
+  // traffic/load fields), summed over layers.
+  Bytes swat_offchip_traffic;
+  std::int64_t swat_core_loads = 0;
+  std::int64_t heads_run = 0;
+
+  /// Analytic per-request model cost (linear + attention + FFN FLOPs for
+  /// this request's length; attention/flops.hpp), so throughput benches can
+  /// report FLOP/s without touching measured counters.
+  double model_flops = 0.0;
+};
+
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  MatrixF input;  ///< seq_len x d_model token embeddings, seq_len >= 1
+};
+
+struct RequestResult {
+  std::uint64_t id = 0;
+  MatrixF output;  ///< seq_len x d_model encoder output
+  RequestCounters counters;
+};
+
+/// Cumulative totals over everything a Runtime has served.
+struct RuntimeTotals {
+  std::int64_t requests = 0;
+  std::int64_t tokens = 0;
+  std::int64_t batches = 0;
+  Bytes swat_offchip_traffic;
+  std::int64_t swat_core_loads = 0;
+  std::int64_t heads_run = 0;
+  double model_flops = 0.0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(model::EncoderConfig cfg, BatchingOptions batching = {});
+
+  /// Serve a set of requests: bucket, pack, run, unpack. Results come back
+  /// in submission order. Deterministic: outputs and counters are
+  /// bit-identical for any thread count.
+  std::vector<RequestResult> run(std::span<const InferenceRequest> requests);
+
+  /// The sequential oracle: serve one request as a batch of one. Output is
+  /// bit-identical to encoder().forward(request.input).
+  RequestResult run_one(const InferenceRequest& request);
+
+  const model::Encoder& encoder() const { return encoder_; }
+  const BatchingOptions& batching() const { return batching_; }
+
+  /// Cumulative totals across all run()/run_one() calls. Always equals the
+  /// field-wise sum of every RequestCounters this runtime has returned.
+  const RuntimeTotals& totals() const { return totals_; }
+
+ private:
+  model::Encoder encoder_;
+  BatchingOptions batching_;
+  RuntimeTotals totals_;
+
+  // Per-batch staging reused across run() calls; reshape() retains the
+  // backing capacity, so serving stops allocating staging once the
+  // high-water batch shape has been seen.
+  MatrixF packed_;
+  std::vector<model::AttentionStats> seg_stats_;
+};
+
+}  // namespace swat

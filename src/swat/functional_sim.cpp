@@ -15,14 +15,21 @@ FunctionalSimulator::FunctionalSimulator(SwatConfig cfg, FunctionalOptions opt)
 std::vector<FunctionalResult> FunctionalSimulator::run_heads(
     std::span<const attn::HeadInput> heads) const {
   std::vector<FunctionalResult> results(heads.size());
+  run_heads_into(heads, results);
+  return results;
+}
+
+void FunctionalSimulator::run_heads_into(
+    std::span<const attn::HeadInput> heads,
+    std::span<FunctionalResult> out) const {
+  SWAT_EXPECTS(out.size() == heads.size());
   parallel_for(0, static_cast<std::int64_t>(heads.size()), 1,
                [&](std::int64_t h0, std::int64_t h1) {
                  for (std::int64_t i = h0; i < h1; ++i) {
-                   results[static_cast<std::size_t>(i)] =
+                   out[static_cast<std::size_t>(i)] =
                        run(heads[static_cast<std::size_t>(i)]);
                  }
                });
-  return results;
 }
 
 FunctionalResult FunctionalSimulator::run(const attn::HeadInput& in) const {

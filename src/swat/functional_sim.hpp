@@ -72,6 +72,14 @@ class FunctionalSimulator {
   std::vector<FunctionalResult> run_heads(
       std::span<const attn::HeadInput> heads) const;
 
+  /// Same fan-out, writing into caller-provided storage (out.size() must
+  /// equal heads.size()) so callers control the result buffer's lifetime —
+  /// the batched attention path sizes one buffer for all
+  /// (sequence, head) tasks of a batch and reads results back in a fixed
+  /// reduction order.
+  void run_heads_into(std::span<const attn::HeadInput> heads,
+                      std::span<FunctionalResult> out) const;
+
   const SwatConfig& config() const { return cfg_; }
 
  private:

@@ -40,6 +40,12 @@ void Workspace::release(std::span<float> s) {
   SWAT_EXPECTS(false && "released span not owned by this workspace");
 }
 
+std::size_t Workspace::capacity_floats() const {
+  std::size_t total = 0;
+  for (const Slab& s : slabs_) total += s.capacity;
+  return total;
+}
+
 Workspace& tls_workspace() {
   thread_local Workspace ws;
   return ws;

@@ -35,6 +35,11 @@ class Workspace {
   /// Slabs currently allocated (live + free) — exposed for tests.
   std::size_t slab_count() const { return slabs_.size(); }
 
+  /// Total floats held by the arena (live + free slabs). Stable across
+  /// repeated identical workloads once warmed up — the batching runtime's
+  /// tests assert this to prove the hot path stops allocating.
+  std::size_t capacity_floats() const;
+
  private:
   struct Slab {
     std::unique_ptr<float[]> data;
@@ -46,20 +51,43 @@ class Workspace {
 
 /// RAII lease of a Workspace span: releases on scope exit, so a throwing
 /// kernel body (e.g. a contract violation rethrown out of parallel_for)
-/// cannot permanently pin a slab.
+/// cannot permanently pin a slab. Movable (moved-from leases release
+/// nothing) so leases can be held in containers and handed across scopes
+/// instead of being confined to one block.
 class WorkspaceLease {
  public:
-  WorkspaceLease(Workspace& ws, std::size_t n) : ws_(ws), span_(ws.take(n)) {}
-  ~WorkspaceLease() { ws_.release(span_); }
+  WorkspaceLease(Workspace& ws, std::size_t n) : ws_(&ws), span_(ws.take(n)) {}
+  ~WorkspaceLease() { reset(); }
   WorkspaceLease(const WorkspaceLease&) = delete;
   WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  WorkspaceLease(WorkspaceLease&& other) noexcept
+      : ws_(other.ws_), span_(other.span_) {
+    other.ws_ = nullptr;
+    other.span_ = {};
+  }
+  WorkspaceLease& operator=(WorkspaceLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ws_ = other.ws_;
+      span_ = other.span_;
+      other.ws_ = nullptr;
+      other.span_ = {};
+    }
+    return *this;
+  }
 
   std::span<float> span() const { return span_; }
   float* data() const { return span_.data(); }
   float& operator[](std::size_t i) const { return span_[i]; }
 
  private:
-  Workspace& ws_;
+  void reset() {
+    if (ws_ != nullptr) ws_->release(span_);
+    ws_ = nullptr;
+    span_ = {};
+  }
+
+  Workspace* ws_;
   std::span<float> span_;
 };
 

@@ -30,6 +30,20 @@ class Matrix {
     SWAT_EXPECTS(rows >= 0 && cols >= 0);
   }
 
+  /// Re-shape in place to rows x cols; contents become unspecified (newly
+  /// grown capacity is value-initialized, retained capacity keeps stale
+  /// values) — callers are expected to overwrite every element. The backing
+  /// vector's capacity is retained, so a matrix cycled through shapes at or
+  /// below its high-water size never reallocates — the property the
+  /// batching runtime relies on to keep its packed-activation buffers
+  /// allocation-free across run() calls.
+  void reshape(std::int64_t rows, std::int64_t cols) {
+    SWAT_EXPECTS(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   std::int64_t size() const { return rows_ * cols_; }

@@ -172,6 +172,16 @@ TEST(Encoder, ForwardShapesAndDeterminism) {
   swat::testing::expect_matrix_equal(y1, y2, "determinism");
 }
 
+TEST(Encoder, EmptyInputYieldsEmptyOutput) {
+  // The batched path requires non-empty sequences; the single-sequence
+  // wrappers must keep accepting zero-row inputs (empty in, empty out).
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const Encoder enc(cfg);
+  const MatrixF y = enc.forward(MatrixF(0, cfg.d_model));
+  EXPECT_EQ(y.rows(), 0);
+  EXPECT_EQ(y.cols(), cfg.d_model);
+}
+
 TEST(Encoder, ParameterCount) {
   const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
   const Encoder enc(cfg);

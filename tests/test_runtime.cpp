@@ -1,0 +1,248 @@
+// Tests for the batched serving runtime (src/runtime/).
+//
+// The load-bearing guarantee: for every request, the batched path produces
+// output and counters bit-identical to a sequential per-request run through
+// Encoder::forward, for any batch composition and any thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/runtime.hpp"
+#include "test_util.hpp"
+
+namespace swat {
+namespace {
+
+using model::AttentionBackend;
+using model::EncoderConfig;
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// A compact encoder geometry that exercises real multi-head attention but
+/// keeps the (value-level) SWAT simulator fast enough for unit tests.
+EncoderConfig small_config(AttentionBackend backend) {
+  EncoderConfig cfg;
+  cfg.d_model = 64;
+  cfg.num_heads = 2;
+  cfg.ffn_mult = 2;
+  cfg.layers = 2;
+  cfg.backend = backend;
+  cfg.swat = SwatConfig();
+  cfg.swat.head_dim = 32;
+  cfg.swat.window_cores = 32;
+  cfg.weight_seed = 5;
+  return cfg;
+}
+
+std::vector<InferenceRequest> make_requests(
+    const EncoderConfig& cfg, const std::vector<std::int64_t>& lengths) {
+  Rng rng(99);
+  std::vector<InferenceRequest> reqs;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    InferenceRequest req;
+    req.id = 1000 + i;
+    req.input = random_normal(lengths[i], cfg.d_model, rng);
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+// ------------------------------------------------------------ batcher ----
+
+TEST(Batcher, BucketsByLengthClassAndPreservesSubmissionOrder) {
+  BatchingOptions opt;
+  opt.bucket_width = 64;
+  opt.max_batch_requests = 8;
+  // Classes: 64->1, 65->2, 128->2, 1->1, 200->4.
+  const std::vector<std::int64_t> lengths = {64, 65, 128, 1, 200};
+  const auto plan = plan_batches(lengths, opt);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].request_indices, (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(plan[1].request_indices, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(plan[2].request_indices, (std::vector<std::size_t>{4}));
+  EXPECT_EQ(plan[0].offsets, (std::vector<std::int64_t>{0, 64, 65}));
+  EXPECT_EQ(plan[1].offsets, (std::vector<std::int64_t>{0, 65, 193}));
+}
+
+TEST(Batcher, RespectsRequestAndTokenCaps) {
+  BatchingOptions opt;
+  opt.bucket_width = 64;
+  opt.max_batch_requests = 2;
+  opt.max_batch_tokens = 100;
+  const std::vector<std::int64_t> lengths = {60, 60, 60, 60, 60};
+  const auto plan = plan_batches(lengths, opt);
+  // Token cap (100) binds before the request cap: one request per batch.
+  ASSERT_EQ(plan.size(), 5u);
+  for (const auto& b : plan) EXPECT_EQ(b.requests(), 1);
+}
+
+TEST(Batcher, OversizedRequestStillGetsABatch) {
+  BatchingOptions opt;
+  opt.max_batch_tokens = 8;
+  const std::vector<std::int64_t> lengths = {100};
+  const auto plan = plan_batches(lengths, opt);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rows(), 100);
+}
+
+TEST(Batcher, EmptySubmission) {
+  EXPECT_TRUE(plan_batches({}, BatchingOptions{}).empty());
+}
+
+// ------------------------------------------------------------ runtime ----
+
+/// Batched outputs and counters must be bit-identical to the per-request
+/// sequential oracle, for both a host backend and the SWAT simulator.
+void check_batched_vs_sequential(AttentionBackend backend) {
+  const EncoderConfig cfg = small_config(backend);
+  // Ragged lengths spanning bucket boundaries (bucket_width 64 below):
+  // 63/64 end class 1, 65 starts class 2, plus a singleton class and a
+  // length-1 request.
+  const std::vector<std::int64_t> lengths = {5, 63, 64, 65, 1, 40, 128, 64};
+  const std::vector<InferenceRequest> reqs = make_requests(cfg, lengths);
+
+  BatchingOptions opt;
+  opt.bucket_width = 64;
+  opt.max_batch_requests = 8;
+  Runtime batched(cfg, opt);
+  const std::vector<RequestResult> got = batched.run(reqs);
+  ASSERT_EQ(got.size(), reqs.size());
+
+  // Sequential oracle: a fresh runtime serving one request at a time, and
+  // the raw encoder as the ground truth underneath.
+  Runtime sequential(cfg, opt);
+  const model::Encoder oracle(cfg);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(got[i].id, reqs[i].id);
+    const RequestResult one = sequential.run_one(reqs[i]);
+    testing::expect_matrix_equal(got[i].output, one.output,
+                                 "batched vs run_one");
+    testing::expect_matrix_equal(got[i].output, oracle.forward(reqs[i].input),
+                                 "batched vs Encoder::forward");
+    EXPECT_EQ(got[i].counters.tokens, one.counters.tokens);
+    EXPECT_EQ(got[i].counters.swat_offchip_traffic.count,
+              one.counters.swat_offchip_traffic.count);
+    EXPECT_EQ(got[i].counters.swat_core_loads, one.counters.swat_core_loads);
+    EXPECT_EQ(got[i].counters.heads_run, one.counters.heads_run);
+    EXPECT_EQ(got[i].counters.model_flops, one.counters.model_flops);
+  }
+}
+
+TEST(Runtime, BatchedMatchesSequentialOracleHostBackend) {
+  check_batched_vs_sequential(AttentionBackend::kWindowExact);
+}
+
+TEST(Runtime, BatchedMatchesSequentialOracleSwatSimulator) {
+  check_batched_vs_sequential(AttentionBackend::kSwatSimulator);
+}
+
+TEST(Runtime, EmptyBatch) {
+  Runtime rt(small_config(AttentionBackend::kWindowExact));
+  EXPECT_TRUE(rt.run({}).empty());
+  EXPECT_EQ(rt.totals().requests, 0);
+  EXPECT_EQ(rt.totals().batches, 0);
+}
+
+TEST(Runtime, BatchOfOneEqualsEncoderForward) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const auto reqs = make_requests(cfg, {37});
+  Runtime rt(cfg);
+  const auto results = rt.run(reqs);
+  ASSERT_EQ(results.size(), 1u);
+  const model::Encoder oracle(cfg);
+  testing::expect_matrix_equal(results[0].output,
+                               oracle.forward(reqs[0].input));
+  EXPECT_EQ(rt.totals().batches, 1);
+}
+
+/// Outputs and counters must not depend on the thread count — the
+/// determinism guarantee inherited from PR 1, now across the whole serving
+/// path (SWAT_THREADS={1,4} mirrors the repo-wide convention).
+TEST(Runtime, ThreadCountInvariance) {
+  for (const AttentionBackend backend :
+       {AttentionBackend::kWindowExact, AttentionBackend::kSwatSimulator}) {
+    const EncoderConfig cfg = small_config(backend);
+    const auto reqs = make_requests(cfg, {17, 64, 33, 65, 5, 48, 80, 64});
+
+    std::vector<RequestResult> at1, at4;
+    {
+      ThreadCountGuard guard(1);
+      at1 = Runtime(cfg).run(reqs);
+    }
+    {
+      ThreadCountGuard guard(4);
+      at4 = Runtime(cfg).run(reqs);
+    }
+    ASSERT_EQ(at1.size(), at4.size());
+    for (std::size_t i = 0; i < at1.size(); ++i) {
+      testing::expect_matrix_equal(at4[i].output, at1[i].output,
+                                   "threads=4 vs threads=1");
+      EXPECT_EQ(at4[i].counters.swat_offchip_traffic.count,
+                at1[i].counters.swat_offchip_traffic.count);
+      EXPECT_EQ(at4[i].counters.swat_core_loads,
+                at1[i].counters.swat_core_loads);
+      EXPECT_EQ(at4[i].counters.batch_index, at1[i].counters.batch_index);
+    }
+  }
+}
+
+/// Per-request counters must sum to the runtime totals (the eval tables
+/// reconcile whether accounted per request or per batch), and the SWAT
+/// traffic must equal what the encoder itself measured.
+TEST(Runtime, CountersReconcile) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kSwatSimulator);
+  const auto reqs = make_requests(cfg, {9, 33, 64, 12});
+  Runtime rt(cfg);
+  const auto results = rt.run(reqs);
+
+  RuntimeTotals sum;
+  for (const auto& r : results) {
+    ++sum.requests;
+    sum.tokens += r.counters.tokens;
+    sum.swat_offchip_traffic += r.counters.swat_offchip_traffic;
+    sum.swat_core_loads += r.counters.swat_core_loads;
+    sum.heads_run += r.counters.heads_run;
+    sum.model_flops += r.counters.model_flops;
+  }
+  EXPECT_EQ(sum.requests, rt.totals().requests);
+  EXPECT_EQ(sum.tokens, rt.totals().tokens);
+  EXPECT_EQ(sum.swat_offchip_traffic.count,
+            rt.totals().swat_offchip_traffic.count);
+  EXPECT_EQ(sum.swat_core_loads, rt.totals().swat_core_loads);
+  EXPECT_EQ(sum.heads_run, rt.totals().heads_run);
+  EXPECT_DOUBLE_EQ(sum.model_flops, rt.totals().model_flops);
+  EXPECT_EQ(rt.totals().heads_run,
+            cfg.layers * cfg.num_heads * static_cast<std::int64_t>(
+                                             reqs.size()));
+}
+
+/// After a warmup run at the high-water shape, serving the same workload
+/// again must not grow any per-worker kernel arena or the packed staging —
+/// the "no per-request allocation on the hot path" property.
+TEST(Runtime, SteadyStateServingDoesNotGrowArenas) {
+  ThreadCountGuard guard(1);  // all kernel scratch lands in this thread's arena
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const auto reqs = make_requests(cfg, {31, 64, 17, 50});
+  Runtime rt(cfg);
+  rt.run(reqs);  // warmup: arenas and staging grow to high water
+  const std::size_t warm_capacity = tls_workspace().capacity_floats();
+  const std::size_t warm_slabs = tls_workspace().slab_count();
+  rt.run(reqs);
+  rt.run(reqs);
+  EXPECT_EQ(tls_workspace().capacity_floats(), warm_capacity);
+  EXPECT_EQ(tls_workspace().slab_count(), warm_slabs);
+}
+
+}  // namespace
+}  // namespace swat

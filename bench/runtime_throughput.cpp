@@ -1,7 +1,7 @@
 // Throughput benchmark of the batched serving runtime (src/runtime/)
 // against the sequential per-request path. Emits BENCH_runtime.json.
 //
-// Both arms serve the same requests (same total tokens) on the ambient
+// All arms serve the same requests (same total tokens) on the ambient
 // thread pool ("default threads": SWAT_THREADS if set, otherwise hardware
 // concurrency):
 //   * sequential — the pre-runtime entry point: Encoder::forward on one
@@ -11,14 +11,22 @@
 //   * batched    — Runtime::run with batches of `--batch` (default 8)
 //     requests: projections/FFN run as GEMMs over all packed rows and
 //     attention fans out over (request, head) tasks.
+//   * planned    — the compiled execution path in isolation: batches are
+//     packed once up front, then Engine::run executes each through a
+//     pre-bound ExecutionPlan arena. Relative to batched this strips the
+//     per-call pack/unpack memcpy and the per-request result allocations,
+//     so it bounds what the serving wrapper costs on top of pure compute.
 //
-// The batched arm's outputs are checked bit-identical to the sequential
-// arm's before any timing is reported — the speedup is never bought with a
-// different numerical path. On a single-core host both arms are
-// compute-bound on the same kernels, so the expected speedup is ~1x; the
-// batched win grows with core count (see the "threads" sweep in the JSON).
+// The batched and planned arms' outputs are checked bit-identical to the
+// sequential arm's before any timing is reported — the speedup is never
+// bought with a different numerical path. On a single-core host all arms
+// are compute-bound on the same kernels, so the expected speedup is ~1x;
+// the batched win grows with core count (see the "threads" sweep in the
+// JSON).
 //
 // Usage: runtime_throughput [--smoke] [--batch <n>] [--out <path>]
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +43,8 @@
 
 namespace {
 
+using swat::Engine;
+using swat::ExecutionPlan;
 using swat::InferenceRequest;
 using swat::MatrixF;
 using swat::RequestResult;
@@ -46,31 +56,39 @@ double now_seconds() {
       .count();
 }
 
-/// Best-of-N for two competing arms, alternating A and B each rep so slow
-/// drift on a shared host (the container's core is not exclusively ours)
-/// biases neither side. One untimed warmup each first.
-template <typename FnA, typename FnB>
-std::pair<double, double> best_time_paired(int reps, FnA&& a, FnB&& b) {
+/// Best-of-N for three competing arms, interleaving A, B and C each rep so
+/// slow drift on a shared host (the container's core is not exclusively
+/// ours) biases no side. One untimed warmup each first.
+template <typename FnA, typename FnB, typename FnC>
+std::array<double, 3> best_time_interleaved(int reps, FnA&& a, FnB&& b,
+                                            FnC&& c) {
   a();
   b();
-  double best_a = std::numeric_limits<double>::infinity();
-  double best_b = std::numeric_limits<double>::infinity();
+  c();
+  std::array<double, 3> best;
+  best.fill(std::numeric_limits<double>::infinity());
   for (int r = 0; r < reps; ++r) {
     double t0 = now_seconds();
     a();
-    best_a = std::min(best_a, now_seconds() - t0);
+    best[0] = std::min(best[0], now_seconds() - t0);
     t0 = now_seconds();
     b();
-    best_b = std::min(best_b, now_seconds() - t0);
+    best[1] = std::min(best[1], now_seconds() - t0);
+    t0 = now_seconds();
+    c();
+    best[2] = std::min(best[2], now_seconds() - t0);
   }
-  return {best_a, best_b};
+  return best;
 }
 
 struct Arm {
   int threads = 1;
   double sequential_tps = 0.0;
   double batched_tps = 0.0;
+  double planned_tps = 0.0;
   double speedup() const { return batched_tps / sequential_tps; }
+  double planned_speedup() const { return planned_tps / sequential_tps; }
+  double planned_vs_batched() const { return planned_tps / batched_tps; }
 };
 
 }  // namespace
@@ -134,8 +152,34 @@ int main(int argc, char** argv) {
   const swat::model::Encoder encoder(cfg);
   Runtime runtime(cfg, bopt);
 
-  // Correctness gate: batched outputs must be bit-identical to the
-  // sequential path before any throughput number is believed.
+  // The planned arm: pack every batch once up front (offsets + packed
+  // matrix), compile one engine plan at the high-water batch shape, and
+  // execute Engine::run per batch. This is what the serving loop does per
+  // call, minus the per-call pack/unpack and result allocations.
+  std::vector<std::int64_t> lengths;
+  for (const InferenceRequest& req : requests) {
+    lengths.push_back(req.input.rows());
+  }
+  const std::vector<swat::BatchPlanEntry> batch_plan =
+      swat::plan_batches(lengths, bopt);
+  std::vector<MatrixF> packed_batches;
+  std::int64_t high_water_rows = 0;
+  for (const swat::BatchPlanEntry& b : batch_plan) {
+    MatrixF packed(b.rows(), cfg.d_model);
+    for (std::int64_t i = 0; i < b.requests(); ++i) {
+      const MatrixF& in =
+          requests[b.request_indices[static_cast<std::size_t>(i)]].input;
+      std::memcpy(packed.row(b.offsets[static_cast<std::size_t>(i)]).data(),
+                  in.data(), static_cast<std::size_t>(in.size()) *
+                                 sizeof(float));
+    }
+    high_water_rows = std::max(high_water_rows, b.rows());
+    packed_batches.push_back(std::move(packed));
+  }
+  Engine planned_engine = Engine::compile(cfg, high_water_rows);
+
+  // Correctness gate: batched and planned outputs must be bit-identical to
+  // the sequential path before any throughput number is believed.
   {
     const std::vector<RequestResult> got = runtime.run(requests);
     for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -145,6 +189,24 @@ int main(int argc, char** argv) {
                      "for request "
                   << i << "\n";
         return 1;
+      }
+    }
+    for (std::size_t b = 0; b < batch_plan.size(); ++b) {
+      const MatrixF& out =
+          planned_engine.run(packed_batches[b], batch_plan[b].offsets);
+      for (std::int64_t i = 0; i < batch_plan[b].requests(); ++i) {
+        const std::size_t ri =
+            batch_plan[b].request_indices[static_cast<std::size_t>(i)];
+        const std::int64_t row0 =
+            batch_plan[b].offsets[static_cast<std::size_t>(i)];
+        if (std::memcmp(out.row(row0).data(), got[ri].output.data(),
+                        static_cast<std::size_t>(got[ri].output.size()) *
+                            sizeof(float)) != 0) {
+          std::cerr << "FATAL: planned output diverges from batched for "
+                       "request "
+                    << ri << "\n";
+          return 1;
+        }
       }
     }
   }
@@ -159,7 +221,7 @@ int main(int argc, char** argv) {
     swat::set_num_threads(t);
     Arm arm;
     arm.threads = t;
-    const auto [seq_s, bat_s] = best_time_paired(
+    const std::array<double, 3> best = best_time_interleaved(
         reps,
         [&] {
           for (const InferenceRequest& req : requests) {
@@ -167,9 +229,17 @@ int main(int argc, char** argv) {
             (void)y;
           }
         },
-        [&] { (void)runtime.run(requests); });
-    arm.sequential_tps = static_cast<double>(total_tokens) / seq_s;
-    arm.batched_tps = static_cast<double>(total_tokens) / bat_s;
+        [&] { (void)runtime.run(requests); },
+        [&] {
+          for (std::size_t b = 0; b < packed_batches.size(); ++b) {
+            const MatrixF& out =
+                planned_engine.run(packed_batches[b], batch_plan[b].offsets);
+            (void)out;
+          }
+        });
+    arm.sequential_tps = static_cast<double>(total_tokens) / best[0];
+    arm.batched_tps = static_cast<double>(total_tokens) / best[1];
+    arm.planned_tps = static_cast<double>(total_tokens) / best[2];
     arms.push_back(arm);
   }
   swat::set_num_threads(default_threads);
@@ -195,7 +265,10 @@ int main(int argc, char** argv) {
     out << "    {\"threads\": " << a.threads
         << ", \"sequential_tokens_per_s\": " << a.sequential_tps
         << ", \"batched_tokens_per_s\": " << a.batched_tps
-        << ", \"speedup\": " << a.speedup() << "}"
+        << ", \"planned_tokens_per_s\": " << a.planned_tps
+        << ", \"speedup\": " << a.speedup()
+        << ", \"planned_speedup\": " << a.planned_speedup()
+        << ", \"planned_vs_batched\": " << a.planned_vs_batched() << "}"
         << (i + 1 < arms.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -204,11 +277,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(batch),
               static_cast<long long>(num_requests),
               static_cast<long long>(total_tokens));
-  std::printf("%-10s %18s %18s %10s\n", "threads", "sequential tok/s",
-              "batched tok/s", "speedup");
+  std::printf("%-10s %18s %18s %18s %10s %10s\n", "threads",
+              "sequential tok/s", "batched tok/s", "planned tok/s", "speedup",
+              "pln/bat");
   for (const Arm& a : arms) {
-    std::printf("%-10d %18.0f %18.0f %9.2fx\n", a.threads, a.sequential_tps,
-                a.batched_tps, a.speedup());
+    std::printf("%-10d %18.0f %18.0f %18.0f %9.2fx %9.2fx\n", a.threads,
+                a.sequential_tps, a.batched_tps, a.planned_tps, a.speedup(),
+                a.planned_vs_batched());
   }
   std::cout << "wrote " << out_path << "\n";
   return out ? 0 : 1;

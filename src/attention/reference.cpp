@@ -20,23 +20,62 @@ HeadInput random_head_input(std::int64_t seq_len, std::int64_t head_dim,
   return in;
 }
 
+namespace {
+
+void dense_attention_impl(const HeadInput& in, MatrixF& scores, MatrixF& z) {
+  scores.reshape(in.seq_len(), in.seq_len());
+  matmul_nt_into(in.q, in.k, scores);
+  row_softmax_stable(scores);
+  z.reshape(in.seq_len(), in.head_dim());
+  matmul_into(scores, in.v, z);
+}
+
+}  // namespace
+
 MatrixF dense_attention(const HeadInput& in) {
-  MatrixF s = matmul_nt(in.q, in.k);
-  row_softmax_stable(s);
-  return matmul(s, in.v);
+  // Local score staging: the allocating entry point is the oracle path
+  // (fidelity sweeps, tests) and may see huge one-off seq_lens, which must
+  // not stay pinned in a thread_local for the thread's lifetime.
+  MatrixF scores;
+  MatrixF z;
+  dense_attention_impl(in, scores, z);
+  return z;
+}
+
+void dense_attention_into(const HeadInput& in, MatrixF& z) {
+  // The n x n score matrix is the one large intermediate of the dense
+  // oracle; staging it thread-locally (reshape retains capacity) keeps
+  // repeated planned runs allocation-free. Each (sequence, head) task runs
+  // entirely on one thread, so per-thread staging cannot be shared
+  // mid-computation.
+  thread_local MatrixF scores;
+  dense_attention_impl(in, scores, z);
 }
 
 MatrixF masked_attention(const HeadInput& in,
                          const AttentionPattern& pattern) {
+  MatrixF z;
+  masked_attention_into(in, pattern, z);
+  return z;
+}
+
+void masked_attention_into(const HeadInput& in,
+                           const AttentionPattern& pattern, MatrixF& z) {
   SWAT_EXPECTS(pattern.seq_len() == in.seq_len());
   const std::int64_t n = in.seq_len();
   const std::int64_t h = in.head_dim();
-  MatrixF z(n, h, 0.0f);
+  z.reshape(n, h);
+  std::fill(z.flat().begin(), z.flat().end(), 0.0f);
+  std::size_t max_attended = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_attended = std::max(max_attended, pattern.row(i).size());
+  }
+  WorkspaceLease lease(tls_workspace(), max_attended);
   for (std::int64_t i = 0; i < n; ++i) {
     const auto& attended = pattern.row(i);
     SWAT_EXPECTS(!attended.empty());
     // Scores restricted to the attended set.
-    std::vector<float> s(attended.size());
+    const std::span<float> s = lease.span().subspan(0, attended.size());
     float mx = -std::numeric_limits<float>::infinity();
     for (std::size_t t = 0; t < attended.size(); ++t) {
       s[t] = dot(in.q.row(i), in.k.row(attended[t].col));
@@ -53,7 +92,6 @@ MatrixF masked_attention(const HeadInput& in,
       axpy(s[t] / sum, in.v.row(attended[t].col), zrow);
     }
   }
-  return z;
 }
 
 }  // namespace swat::attn

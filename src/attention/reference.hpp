@@ -28,10 +28,24 @@ HeadInput random_head_input(std::int64_t seq_len, std::int64_t head_dim,
 /// assumed to be folded into Q by the caller.
 MatrixF dense_attention(const HeadInput& in);
 
+/// Allocation-conscious variant for the compiled execution plan: `z` and a
+/// thread-local n x n score staging matrix are reshaped in place (capacity
+/// retained), so repeated calls at or below the high-water seq_len perform
+/// no heap allocation after warmup. Bit-identical to dense_attention.
+void dense_attention_into(const HeadInput& in, MatrixF& z);
+
 /// Dense attention with an arbitrary static mask: scores outside the mask
 /// are excluded from the softmax (i.e. set to -inf). With a window-band
 /// mask this is the *exact* semantics of sliding-window attention and the
 /// oracle for SWAT's output.
 MatrixF masked_attention(const HeadInput& in, const AttentionPattern& pattern);
+
+/// In-place-output variant of masked_attention (score scratch from the
+/// calling thread's Workspace arena). Bit-identical to masked_attention.
+/// Note the *pattern* still has to exist — pattern construction is the
+/// allocating step for the pattern-augmented configs, which is why the
+/// strict zero-allocation guarantee covers the pure-window configs only.
+void masked_attention_into(const HeadInput& in,
+                           const AttentionPattern& pattern, MatrixF& z);
 
 }  // namespace swat::attn

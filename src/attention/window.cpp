@@ -15,11 +15,21 @@ MatrixF window_attention(const HeadInput& in, std::int64_t window_radius) {
 
 MatrixF band_attention(const HeadInput& in, std::int64_t before,
                        std::int64_t after) {
+  MatrixF z;
+  band_attention_into(in, before, after, z);
+  return z;
+}
+
+void band_attention_into(const HeadInput& in, std::int64_t before,
+                         std::int64_t after, MatrixF& z) {
   SWAT_EXPECTS(before >= 0 && after >= 0);
   const std::int64_t n = in.seq_len();
   const std::int64_t h = in.head_dim();
-  MatrixF z(n, h, 0.0f);
-  std::vector<float> s(static_cast<std::size_t>(before + after + 1));
+  z.reshape(n, h);
+  std::fill(z.flat().begin(), z.flat().end(), 0.0f);
+  WorkspaceLease lease(tls_workspace(),
+                       static_cast<std::size_t>(before + after + 1));
+  const std::span<float> s = lease.span();
   for (std::int64_t i = 0; i < n; ++i) {
     const std::int64_t lo = std::max<std::int64_t>(0, i - before);
     const std::int64_t hi = std::min<std::int64_t>(n - 1, i + after);
@@ -40,7 +50,6 @@ MatrixF band_attention(const HeadInput& in, std::int64_t before,
       axpy(s[t] / sum, in.v.row(lo + static_cast<std::int64_t>(t)), zrow);
     }
   }
-  return z;
 }
 
 WindowOpCount window_attention_ops(std::int64_t seq_len,

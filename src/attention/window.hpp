@@ -21,6 +21,15 @@ MatrixF window_attention(const HeadInput& in, std::int64_t window_radius);
 MatrixF band_attention(const HeadInput& in, std::int64_t before,
                        std::int64_t after);
 
+/// Allocation-free variant for the compiled execution plan's hot path:
+/// `z` is reshaped to seq_len x head_dim (Matrix::reshape retains backing
+/// capacity) and the per-row score scratch comes from the calling thread's
+/// Workspace arena, so after warmup repeated calls at or below the
+/// high-water shape perform no heap allocation. Bit-identical to
+/// band_attention.
+void band_attention_into(const HeadInput& in, std::int64_t before,
+                         std::int64_t after, MatrixF& z);
+
 /// Operation counts for one head of exact windowed attention; used by the
 /// FLOPs analyzer and to compute the redundancy of sliding-chunks.
 struct WindowOpCount {

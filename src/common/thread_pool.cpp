@@ -88,7 +88,7 @@ void ThreadPool::run_chunks(Job& job) {
     }
     if (!failed) {
       try {
-        (*job.body)(b, e);
+        job.fn(job.ctx, b, e);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.error_mutex);
         if (!job.error) job.error = std::current_exception();
@@ -124,14 +124,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
+void ThreadPool::parallel_for_raw(std::int64_t begin, std::int64_t end,
+                                  std::int64_t grain,
+                                  void (*fn)(void*, std::int64_t,
+                                             std::int64_t),
+                                  void* ctx) {
   SWAT_EXPECTS(grain >= 1);
+  SWAT_EXPECTS(fn != nullptr);
   if (end <= begin) return;
   const std::int64_t count = end - begin;
   if (num_threads_ == 1 || count <= grain || t_in_pool_work) {
-    body(begin, end);
+    fn(ctx, begin, end);
     return;
   }
 
@@ -147,7 +150,8 @@ void ThreadPool::parallel_for(
   job->end = end;
   job->num_chunks = num_chunks;
   job->chunk = (count + num_chunks - 1) / num_chunks;
-  job->body = &body;
+  job->fn = fn;
+  job->ctx = ctx;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -173,10 +177,5 @@ void ThreadPool::parallel_for(
 int num_threads() { return ThreadPool::instance().num_threads(); }
 
 void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
-
-void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
-  ThreadPool::instance().parallel_for(begin, end, grain, body);
-}
 
 }  // namespace swat

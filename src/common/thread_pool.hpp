@@ -24,7 +24,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -51,12 +50,19 @@ class ThreadPool {
   /// worker set is torn down and rebuilt); that misuse is contract-checked.
   void set_num_threads(int n);
 
-  /// Invoke `body(chunk_begin, chunk_end)` over a partition of
+  /// Invoke `fn(ctx, chunk_begin, chunk_end)` over a partition of
   /// [begin, end). `grain` is the minimum number of indices per chunk;
-  /// ranges not longer than `grain` (or issued from inside a worker) run
-  /// inline on the calling thread. Blocks until the whole range is done.
-  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+  /// ranges not longer than `grain` (or with one thread, or issued from
+  /// inside a worker) run inline on the calling thread. Blocks until the
+  /// whole range is done. The callable is a raw (fn, ctx) pair rather than
+  /// a std::function — the free-function `parallel_for` template routes
+  /// here so a dispatched fork-join costs exactly one Job allocation (the
+  /// shared_ptr that keeps stragglers safe) and nothing for the callable,
+  /// and an inline run performs zero heap allocations.
+  void parallel_for_raw(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain,
+                        void (*fn)(void*, std::int64_t, std::int64_t),
+                        void* ctx);
 
  private:
   explicit ThreadPool(int n);
@@ -68,12 +74,15 @@ class ThreadPool {
   // threads steal more of the range; `done` counts completed chunks. The
   // first exception thrown by any chunk is captured and rethrown on the
   // calling thread (remaining chunks are skipped, not aborted mid-flight).
+  // The callable is a raw (fn, ctx) pair — the caller blocks until the job
+  // completes, so the context outlives every chunk by construction.
   struct Job {
     std::int64_t begin = 0;
     std::int64_t chunk = 1;
     std::int64_t num_chunks = 0;
     std::int64_t end = 0;
-    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    void (*fn)(void*, std::int64_t, std::int64_t) = nullptr;
+    void* ctx = nullptr;
     std::atomic<std::int64_t> next{0};
     std::atomic<std::int64_t> done{0};
     std::mutex error_mutex;
@@ -95,7 +104,27 @@ class ThreadPool {
 /// Convenience wrappers over ThreadPool::instance().
 int num_threads();
 void set_num_threads(int n);
+
+/// Fork-join over [begin, end) on the process-wide pool. Accepts any
+/// callable `body(chunk_begin, chunk_end)` without erasing it into a
+/// std::function: ranges that run inline (one thread, range <= grain, or a
+/// nested call from pool work) invoke the body directly and perform zero
+/// heap allocations — the property the compiled execution plan's
+/// steady-state guarantee (tests/test_runtime.cpp) stands on. Dispatched
+/// ranges cost one Job allocation regardless of the body's capture size.
+template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+                  const Body& body) {
+  // The inline-vs-dispatch decision (one thread, range <= grain, nested in
+  // pool work) lives in parallel_for_raw; the thunk is a capture-less
+  // lambda, so this call never boxes the body into a std::function and the
+  // inline path performs zero heap allocations.
+  ThreadPool::instance().parallel_for_raw(
+      begin, end, grain,
+      [](void* ctx, std::int64_t b, std::int64_t e) {
+        (*static_cast<const Body*>(ctx))(b, e);
+      },
+      const_cast<void*>(static_cast<const void*>(&body)));
+}
 
 }  // namespace swat

@@ -1,13 +1,33 @@
 #include "model/attention_layer.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "attention/window.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace swat::model {
+
+void MhaWorkspace::bind(std::int64_t max_tokens, std::int64_t d_model) {
+  SWAT_EXPECTS(max_tokens >= 0 && d_model >= 1);
+  q.reshape(max_tokens, d_model);
+  k.reshape(max_tokens, d_model);
+  v.reshape(max_tokens, d_model);
+  concat.reshape(max_tokens, d_model);
+}
+
+std::size_t MhaWorkspace::capacity_floats() const {
+  std::size_t total = static_cast<std::size_t>(q.size() + k.size() +
+                                               v.size() + concat.size());
+  for (const attn::HeadInput& in : sim_inputs) {
+    total += static_cast<std::size_t>(in.q.size() + in.k.size() +
+                                      in.v.size());
+  }
+  for (const FunctionalResult& res : sim_results) {
+    total += static_cast<std::size_t>(res.z.size());
+  }
+  return total;
+}
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
                                        std::int64_t num_heads,
@@ -31,29 +51,33 @@ std::int64_t MultiHeadAttention::parameters() const {
          wo_.parameters();
 }
 
-MatrixF MultiHeadAttention::attend_one_head(
-    const attn::HeadInput& head) const {
+void MultiHeadAttention::attend_one_head_into(const attn::HeadInput& head,
+                                              MatrixF& z) const {
   switch (backend_) {
     case AttentionBackend::kDenseReference:
-      return attn::dense_attention(head);
+      attn::dense_attention_into(head, z);
+      return;
     case AttentionBackend::kWindowExact: {
       // The exact algorithm SWAT realizes, float32 on the host. For the
       // pattern-augmented configs (global/random) fall back to the masked
-      // oracle so all backends agree on the attended set.
+      // oracle so all backends agree on the attended set. Pattern
+      // construction allocates, which is why the strict zero-allocation
+      // guarantee covers pure-window configs (the serving setup) only.
       if (swat_cfg_.global_cores == 0 && swat_cfg_.random_cores == 0 &&
           swat_cfg_.window_dilation == 1) {
-        return attn::band_attention(head, swat_cfg_.window_before(),
-                                    swat_cfg_.window_after());
+        attn::band_attention_into(head, swat_cfg_.window_before(),
+                                  swat_cfg_.window_after(), z);
+        return;
       }
       const attn::AttentionPattern pattern(
           swat_cfg_.pattern_spec(head.seq_len()));
-      return attn::masked_attention(head, pattern);
+      attn::masked_attention_into(head, pattern, z);
+      return;
     }
     case AttentionBackend::kSwatSimulator:
-      break;  // handled via FunctionalSimulator::run_heads in forward()
+      break;  // handled via FunctionalSimulator::run_heads_into
   }
   SWAT_ENSURES(false);
-  return {};
 }
 
 MatrixF MultiHeadAttention::forward(const MatrixF& x) const {
@@ -74,13 +98,18 @@ MatrixF MultiHeadAttention::forward(const MatrixF& x) const {
 namespace {
 
 /// Per-thread staging buffers for one (sequence, head) attention task.
-/// Reusing one HeadInput per worker keeps the batched hot path
-/// allocation-free after warmup (Matrix::reshape retains capacity). Safe
-/// because each task runs entirely on one thread and the attention kernels
-/// do not retain references past their return.
+/// Reusing one HeadInput (and one attend-output matrix) per worker keeps
+/// the batched hot path allocation-free after warmup (Matrix::reshape
+/// retains capacity). Safe because each task runs entirely on one thread
+/// and the attention kernels do not retain references past their return.
 attn::HeadInput& tls_head_staging() {
   thread_local attn::HeadInput in;
   return in;
+}
+
+MatrixF& tls_head_output() {
+  thread_local MatrixF z;
+  return z;
 }
 
 }  // namespace
@@ -88,6 +117,15 @@ attn::HeadInput& tls_head_staging() {
 MatrixF MultiHeadAttention::forward_batch(
     const MatrixF& x, std::span<const std::int64_t> offsets,
     std::span<AttentionStats> stats) const {
+  MhaWorkspace ws;
+  MatrixF out;
+  forward_batch_into(x, offsets, stats, ws, out);
+  return out;
+}
+
+void MultiHeadAttention::forward_batch_into(
+    const MatrixF& x, std::span<const std::int64_t> offsets,
+    std::span<AttentionStats> stats, MhaWorkspace& ws, MatrixF& out) const {
   SWAT_EXPECTS(x.cols() == d_model_);
   SWAT_EXPECTS(offsets.size() >= 2);
   const std::int64_t nseq = static_cast<std::int64_t>(offsets.size()) - 1;
@@ -96,6 +134,8 @@ MatrixF MultiHeadAttention::forward_batch(
     SWAT_EXPECTS(offsets[static_cast<std::size_t>(s)] <
                  offsets[static_cast<std::size_t>(s + 1)]);
   }
+  // The stats contract: exactly one slot per sequence, or none at all.
+  // Anything else would silently mis-attribute per-request counters.
   SWAT_EXPECTS(stats.empty() ||
                static_cast<std::int64_t>(stats.size()) == nseq);
   const std::int64_t h = head_dim();
@@ -105,9 +145,12 @@ MatrixF MultiHeadAttention::forward_batch(
   // sequence's rows instead of one GEMM per sequence, so the row-block
   // fan-out sees nseq-times more rows. Each output row depends only on its
   // own input row, so packed rows are bit-identical to per-sequence calls.
-  const MatrixF q = wq_.forward(x);
-  const MatrixF k = wk_.forward(x);
-  const MatrixF v = wv_.forward(x);
+  wq_.forward_into(x, ws.q);
+  wk_.forward_into(x, ws.k);
+  wv_.forward_into(x, ws.v);
+  const MatrixF& q = ws.q;
+  const MatrixF& k = ws.k;
+  const MatrixF& v = ws.v;
 
   // The 1/sqrt(h) scaling folds into Q (the convention the attention
   // kernels in this repository assume).
@@ -133,7 +176,8 @@ MatrixF MultiHeadAttention::forward_batch(
     }
   };
 
-  MatrixF concat(x.rows(), d_model_);
+  ws.concat.reshape(x.rows(), d_model_);
+  MatrixF& concat = ws.concat;
   const auto scatter = [&](std::int64_t task, const MatrixF& z) {
     const std::int64_t row0 = offsets[static_cast<std::size_t>(seg_of(task))];
     const std::int64_t base = head_of(task) * h;
@@ -150,16 +194,16 @@ MatrixF MultiHeadAttention::forward_batch(
     // run_heads fan-out. Counters reduce per sequence in head order — the
     // same association order as a serial per-sequence run, so totals are
     // thread-count- and batch-composition-invariant.
-    std::vector<attn::HeadInput> inputs(static_cast<std::size_t>(tasks));
+    ws.sim_inputs.resize(static_cast<std::size_t>(tasks));
     parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
       for (std::int64_t t = t0; t < t1; ++t) {
-        slice_task(t, inputs[static_cast<std::size_t>(t)]);
+        slice_task(t, ws.sim_inputs[static_cast<std::size_t>(t)]);
       }
     });
-    std::vector<FunctionalResult> results(static_cast<std::size_t>(tasks));
-    sim_->run_heads_into(inputs, results);
+    ws.sim_results.resize(static_cast<std::size_t>(tasks));
+    sim_->run_heads_into(ws.sim_inputs, ws.sim_results);
     for (std::int64_t t = 0; t < tasks; ++t) {
-      const FunctionalResult& res = results[static_cast<std::size_t>(t)];
+      const FunctionalResult& res = ws.sim_results[static_cast<std::size_t>(t)];
       scatter(t, res.z);
       AttentionStats one;
       one.swat_offchip_traffic = res.total_read() + res.z_bytes_written;
@@ -171,13 +215,15 @@ MatrixF MultiHeadAttention::forward_batch(
     }
   } else {
     // Host backends: each (sequence, head) task slices into the worker's
-    // thread-local staging, attends, and scatters into its disjoint block
-    // of the packed concat matrix.
+    // thread-local staging, attends into the worker's thread-local output,
+    // and scatters into its disjoint block of the packed concat matrix.
     parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
       for (std::int64_t t = t0; t < t1; ++t) {
         attn::HeadInput& in = tls_head_staging();
         slice_task(t, in);
-        scatter(t, attend_one_head(in));
+        MatrixF& z = tls_head_output();
+        attend_one_head_into(in, z);
+        scatter(t, z);
       }
     });
     for (std::int64_t s = 0; s < nseq; ++s) {
@@ -187,7 +233,7 @@ MatrixF MultiHeadAttention::forward_batch(
       stats_ += one;
     }
   }
-  return wo_.forward(concat);
+  wo_.forward_into(concat, out);
 }
 
 }  // namespace swat::model

@@ -16,6 +16,7 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "attention/reference.hpp"
 #include "model/linear.hpp"
@@ -43,6 +44,32 @@ struct AttentionStats {
   }
 };
 
+/// Reusable staging for one batched attention call, owned by the caller
+/// (in practice: the compiled ExecutionPlan's arena). Every matrix is
+/// reshaped in place per call — Matrix::reshape retains capacity, so a
+/// workspace cycled at or below its high-water batch shape never
+/// reallocates.
+struct MhaWorkspace {
+  MatrixF q;       ///< packed Q projection (rows x d_model)
+  MatrixF k;       ///< packed K projection (rows x d_model)
+  MatrixF v;       ///< packed V projection (rows x d_model)
+  MatrixF concat;  ///< per-head outputs scattered back (rows x d_model)
+
+  // SWAT-simulator staging: one entry per (sequence, head) task. The
+  // simulator itself still allocates per-head core state internally (it is
+  // a value-level model, not a serving hot path), so only the host
+  // backends are allocation-free.
+  std::vector<attn::HeadInput> sim_inputs;
+  std::vector<FunctionalResult> sim_results;
+
+  /// Grow every buffer to the high-water shape for `max_tokens` packed
+  /// rows so subsequent calls at or below it never reallocate.
+  void bind(std::int64_t max_tokens, std::int64_t d_model);
+
+  /// Total floats currently held (introspection for plan sizing/tests).
+  std::size_t capacity_floats() const;
+};
+
 class MultiHeadAttention {
  public:
   /// `swat_cfg.head_dim` must equal d_model / num_heads when the SWAT
@@ -67,12 +94,26 @@ class MultiHeadAttention {
   /// kernel computes each output row with a fixed reduction order, and
   /// attention never crosses an offsets boundary).
   ///
-  /// Per-sequence counters are *added* into `stats` (size must equal the
-  /// sequence count, or empty to skip); last_stats() gets the batch total.
-  /// Like forward(), not safe to call concurrently on one instance.
+  /// Per-sequence counters are *added* into `stats`. Contract:
+  /// `stats.size()` must be exactly `offsets.size() - 1` (one slot per
+  /// sequence) or 0 (skip per-sequence accounting) — anything else is a
+  /// precondition violation (std::invalid_argument), asserted here rather
+  /// than silently mis-attributing counters. last_stats() gets the batch
+  /// total. Like forward(), not safe to call concurrently on one instance.
   MatrixF forward_batch(const MatrixF& x,
                         std::span<const std::int64_t> offsets,
                         std::span<AttentionStats> stats) const;
+
+  /// Plan-driven forward_batch: identical contract and bit-identical
+  /// output/counters, but all batch-level staging lives in `ws` and the
+  /// result lands in `out` (reshaped in place; must alias neither x nor a
+  /// workspace buffer). With a host backend and a pure-window config the
+  /// call is allocation-free once ws, out, and the per-thread staging have
+  /// seen the batch's high-water shape.
+  void forward_batch_into(const MatrixF& x,
+                          std::span<const std::int64_t> offsets,
+                          std::span<AttentionStats> stats, MhaWorkspace& ws,
+                          MatrixF& out) const;
 
   /// Statistics from the most recent forward()/forward_batch() (SWAT
   /// backend only; summed over the batch for forward_batch).
@@ -86,8 +127,9 @@ class MultiHeadAttention {
  private:
   /// Host-side backends only (dense / window-exact); the SWAT backend goes
   /// through FunctionalSimulator::run_heads_into so the per-head fan-out
-  /// and the stats live in one place per backend.
-  MatrixF attend_one_head(const attn::HeadInput& head) const;
+  /// and the stats live in one place per backend. `z` is the caller's
+  /// (thread-local) staging matrix, reshaped in place.
+  void attend_one_head_into(const attn::HeadInput& head, MatrixF& z) const;
 
   std::int64_t d_model_;
   std::int64_t num_heads_;

@@ -1,30 +1,10 @@
 #include "model/encoder.hpp"
 
-#include <cmath>
-#include <numbers>
+#include <string>
 
-#include "common/thread_pool.hpp"
+#include "tensor/kernels.hpp"
 
 namespace swat::model {
-
-namespace {
-
-constexpr std::int64_t kElemGrain = 1 << 14;
-
-/// out[i] += add[i] over the whole matrix, fanned out over the pool.
-void residual_add(MatrixF& out, const MatrixF& add) {
-  auto a = out.flat();
-  auto in = add.flat();
-  parallel_for(0, static_cast<std::int64_t>(a.size()), kElemGrain,
-               [&](std::int64_t b, std::int64_t e) {
-                 for (std::int64_t i = b; i < e; ++i) {
-                   a[static_cast<std::size_t>(i)] +=
-                       in[static_cast<std::size_t>(i)];
-                 }
-               });
-}
-
-}  // namespace
 
 EncoderConfig EncoderConfig::longformer_base(AttentionBackend backend) {
   EncoderConfig cfg;
@@ -37,9 +17,64 @@ EncoderConfig EncoderConfig::longformer_base(AttentionBackend backend) {
   return cfg;
 }
 
-float gelu(float x) {
-  const float c = std::sqrt(2.0f / std::numbers::pi_v<float>);
-  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+void EncoderConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("EncoderConfig: " + what);
+  };
+  if (d_model < 1) {
+    fail("d_model must be >= 1, got " + std::to_string(d_model));
+  }
+  if (num_heads < 1) {
+    fail("num_heads must be >= 1, got " + std::to_string(num_heads));
+  }
+  if (d_model % num_heads != 0) {
+    fail("d_model (" + std::to_string(d_model) +
+         ") must be divisible by num_heads (" + std::to_string(num_heads) +
+         ") — every head needs an equal slice of the model width");
+  }
+  if (ffn_mult < 1) {
+    fail("ffn_mult must be >= 1, got " + std::to_string(ffn_mult) +
+         " — the FFN hidden width is ffn_mult * d_model");
+  }
+  if (layers < 1) {
+    fail("layers must be >= 1, got " + std::to_string(layers));
+  }
+  if (swat.head_dim != d_model / num_heads) {
+    fail("swat.head_dim (" + std::to_string(swat.head_dim) +
+         ") must equal d_model / num_heads (" +
+         std::to_string(d_model / num_heads) +
+         ") — the attention cores are sized per head slice");
+  }
+  swat.validate();  // core partition / dilation / clock consistency
+}
+
+float gelu(float x) { return swat::gelu(x); }
+
+void EncoderLayerScratch::bind(const EncoderConfig& cfg,
+                               std::int64_t max_tokens) {
+  SWAT_EXPECTS(max_tokens >= 0);
+  mha.bind(max_tokens, cfg.d_model);
+  attn_out.reshape(max_tokens, cfg.d_model);
+  norm1_out.reshape(max_tokens, cfg.d_model);
+  ffn_hidden.reshape(max_tokens, cfg.d_model * cfg.ffn_mult);
+  ffn_out.reshape(max_tokens, cfg.d_model);
+}
+
+std::size_t EncoderLayerScratch::capacity_floats() const {
+  return mha.capacity_floats() +
+         static_cast<std::size_t>(attn_out.size() + norm1_out.size() +
+                                  ffn_hidden.size() + ffn_out.size());
+}
+
+void EncoderArena::bind(const EncoderConfig& cfg, std::int64_t max_tokens) {
+  scratch.bind(cfg, max_tokens);
+  ping.reshape(max_tokens, cfg.d_model);
+  pong.reshape(max_tokens, cfg.d_model);
+}
+
+std::size_t EncoderArena::capacity_floats() const {
+  return scratch.capacity_floats() +
+         static_cast<std::size_t>(ping.size() + pong.size());
 }
 
 EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
@@ -58,29 +93,33 @@ MatrixF EncoderLayer::forward(const MatrixF& x) const {
 MatrixF EncoderLayer::forward_batch(const MatrixF& x,
                                     std::span<const std::int64_t> offsets,
                                     std::span<AttentionStats> stats) const {
+  EncoderLayerScratch scratch;
+  MatrixF out;
+  forward_batch_into(x, offsets, stats, scratch, out);
+  return out;
+}
+
+void EncoderLayer::forward_batch_into(const MatrixF& x,
+                                      std::span<const std::int64_t> offsets,
+                                      std::span<AttentionStats> stats,
+                                      EncoderLayerScratch& s,
+                                      MatrixF& out) const {
+  SWAT_EXPECTS(&out != &x);
   // Attention block with residual, post-norm. Attention is the only
   // sequence-aware stage; everything below operates row-wise or
   // element-wise on the packed matrix and so is batch-agnostic.
-  MatrixF attn_out = mha_.forward_batch(x, offsets, stats);
-  residual_add(attn_out, x);
-  const MatrixF h = norm1_.forward(attn_out);
+  mha_.forward_batch_into(x, offsets, stats, s.mha, s.attn_out);
+  add_rows_into(s.attn_out, x, s.attn_out);
+  norm1_.forward_into(s.attn_out, s.norm1_out);
 
   // FFN block with residual, post-norm. The GELU is the largest elementwise
-  // pass in the layer (n x 4*d_model activations), so it fans out too.
-  MatrixF f = ffn1_.forward(h);
-  {
-    auto fv = f.flat();
-    parallel_for(0, static_cast<std::int64_t>(fv.size()), kElemGrain,
-                 [&](std::int64_t b, std::int64_t e) {
-                   for (std::int64_t i = b; i < e; ++i) {
-                     auto& v = fv[static_cast<std::size_t>(i)];
-                     v = gelu(v);
-                   }
-                 });
-  }
-  MatrixF f2 = ffn2_.forward(f);
-  residual_add(f2, h);
-  return norm2_.forward(f2);
+  // pass in the layer (n x ffn_mult*d_model activations), run in place on
+  // the hidden buffer.
+  ffn1_.forward_into(s.norm1_out, s.ffn_hidden);
+  gelu_into(s.ffn_hidden, s.ffn_hidden);
+  ffn2_.forward_into(s.ffn_hidden, s.ffn_out);
+  add_rows_into(s.ffn_out, s.norm1_out, s.ffn_out);
+  norm2_.forward_into(s.ffn_out, out);
 }
 
 std::int64_t EncoderLayer::parameters() const {
@@ -89,7 +128,7 @@ std::int64_t EncoderLayer::parameters() const {
 }
 
 Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
-  SWAT_EXPECTS(cfg_.layers >= 1);
+  cfg_.validate();
   Rng rng(cfg_.weight_seed);
   for (int l = 0; l < cfg_.layers; ++l) {
     layers_.push_back(std::make_unique<EncoderLayer>(cfg_, rng));
@@ -106,17 +145,35 @@ MatrixF Encoder::forward(const MatrixF& x) const {
 MatrixF Encoder::forward_batch(
     const MatrixF& packed, std::span<const std::int64_t> offsets,
     std::span<AttentionStats> per_sequence_stats) const {
+  EncoderArena arena;
+  const MatrixF& out =
+      forward_batch_into(packed, offsets, per_sequence_stats, arena);
+  // The result lives in one of the throwaway arena's ping-pong buffers;
+  // move it out instead of copying.
+  return &out == &arena.ping ? std::move(arena.ping) : std::move(arena.pong);
+}
+
+const MatrixF& Encoder::forward_batch_into(
+    const MatrixF& packed, std::span<const std::int64_t> offsets,
+    std::span<AttentionStats> per_sequence_stats, EncoderArena& arena) const {
   SWAT_EXPECTS(packed.cols() == cfg_.d_model);
+  SWAT_EXPECTS(&packed != &arena.ping && &packed != &arena.pong);
   for (AttentionStats& s : per_sequence_stats) s = AttentionStats{};
   // Layers are sequentially dependent, so the sweep itself stays serial;
   // the parallelism lives inside each layer (per-sequence-per-head
   // attention tasks, GEMM row blocks over all packed rows, elementwise
-  // passes).
-  MatrixF h = packed;
+  // passes). Layer L reads the previous layer's output from one ping-pong
+  // buffer and writes the other; no layer output is ever materialized into
+  // a fresh matrix.
+  const MatrixF* in = &packed;
+  MatrixF* out = &arena.ping;
   for (const auto& layer : layers_) {
-    h = layer->forward_batch(h, offsets, per_sequence_stats);
+    layer->forward_batch_into(*in, offsets, per_sequence_stats,
+                              arena.scratch, *out);
+    in = out;
+    out = (out == &arena.ping) ? &arena.pong : &arena.ping;
   }
-  return h;
+  return *in;
 }
 
 std::int64_t Encoder::parameters() const {

@@ -23,6 +23,41 @@ struct EncoderConfig {
 
   /// Longformer-base geometry on the paper's standard SWAT build.
   static EncoderConfig longformer_base(AttentionBackend backend);
+
+  /// Reject inconsistent geometries with actionable messages
+  /// (std::invalid_argument): positive d_model/num_heads with
+  /// d_model % num_heads == 0, ffn_mult >= 1, layers >= 1, and
+  /// swat.head_dim == d_model / num_heads (plus SwatConfig::validate()),
+  /// so a bad config fails at construction/compile time, not rows deep
+  /// into a forward pass. Called by Encoder and Engine::compile.
+  void validate() const;
+};
+
+/// Per-layer activation scratch for the plan-driven encoder path. One
+/// instance is shared by every layer of a stack (layers run serially and
+/// each overwrites all of it); each buffer reshapes in place per batch, so
+/// once bound at the high-water shape the path stops allocating.
+struct EncoderLayerScratch {
+  MhaWorkspace mha;
+  MatrixF attn_out;    ///< attention block output, then +residual (n x d)
+  MatrixF norm1_out;   ///< post-norm1 activations, FFN input (n x d)
+  MatrixF ffn_hidden;  ///< GELU hidden (n x ffn_mult*d) — the largest buffer
+  MatrixF ffn_out;     ///< FFN output, then +residual (n x d)
+
+  void bind(const EncoderConfig& cfg, std::int64_t max_tokens);
+  std::size_t capacity_floats() const;
+};
+
+/// The full activation arena of a compiled plan: the shared layer scratch
+/// plus the two ping-pong buffers layer outputs alternate between (layer L
+/// reads one, writes the other — no per-layer matrix is ever returned).
+struct EncoderArena {
+  EncoderLayerScratch scratch;
+  MatrixF ping;
+  MatrixF pong;
+
+  void bind(const EncoderConfig& cfg, std::int64_t max_tokens);
+  std::size_t capacity_floats() const;
 };
 
 /// One encoder layer: X + MHA -> LN -> + FFN -> LN (post-norm).
@@ -39,6 +74,14 @@ class EncoderLayer {
   MatrixF forward_batch(const MatrixF& x,
                         std::span<const std::int64_t> offsets,
                         std::span<AttentionStats> stats) const;
+
+  /// Plan-driven forward_batch: bit-identical output and counters, but all
+  /// intermediates live in `scratch` and the result lands in `out`
+  /// (reshaped in place). `out` must not alias `x` or a scratch buffer.
+  void forward_batch_into(const MatrixF& x,
+                          std::span<const std::int64_t> offsets,
+                          std::span<AttentionStats> stats,
+                          EncoderLayerScratch& scratch, MatrixF& out) const;
 
   const MultiHeadAttention& attention() const { return mha_; }
   std::int64_t parameters() const;
@@ -74,6 +117,19 @@ class Encoder {
   MatrixF forward_batch(
       const MatrixF& packed, std::span<const std::int64_t> offsets,
       std::span<AttentionStats> per_sequence_stats = {}) const;
+
+  /// Plan-driven batched forward: the same contract and bit-identical
+  /// outputs/counters as forward_batch, but every intermediate lives in
+  /// the caller's arena — layer outputs ping-pong between arena.ping and
+  /// arena.pong and the returned reference points at whichever holds the
+  /// final layer's output (valid until the arena is next written). The
+  /// allocating forward_batch delegates here with a throwaway arena; the
+  /// compiled Engine passes a persistent one, which is what makes its
+  /// steady state allocation-free.
+  const MatrixF& forward_batch_into(
+      const MatrixF& packed, std::span<const std::int64_t> offsets,
+      std::span<AttentionStats> per_sequence_stats,
+      EncoderArena& arena) const;
 
   const EncoderConfig& config() const { return cfg_; }
   std::int64_t parameters() const;

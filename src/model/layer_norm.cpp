@@ -1,8 +1,7 @@
 #include "model/layer_norm.hpp"
 
-#include <cmath>
-
 #include "common/contracts.hpp"
+#include "tensor/kernels.hpp"
 
 namespace swat::model {
 
@@ -14,27 +13,15 @@ LayerNorm::LayerNorm(std::int64_t features, float eps)
 }
 
 MatrixF LayerNorm::forward(const MatrixF& x) const {
-  SWAT_EXPECTS(x.cols() == static_cast<std::int64_t>(gamma_.size()));
-  MatrixF y(x.rows(), x.cols());
-  for (std::int64_t i = 0; i < x.rows(); ++i) {
-    auto in = x.row(i);
-    auto out = y.row(i);
-    double mean = 0.0;
-    for (float v : in) mean += v;
-    mean /= static_cast<double>(in.size());
-    double var = 0.0;
-    for (float v : in) {
-      const double d = v - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(in.size());
-    const double inv = 1.0 / std::sqrt(var + eps_);
-    for (std::size_t j = 0; j < in.size(); ++j) {
-      out[j] = static_cast<float>((in[j] - mean) * inv) * gamma_[j] +
-               beta_[j];
-    }
-  }
+  MatrixF y;
+  forward_into(x, y);
   return y;
+}
+
+void LayerNorm::forward_into(const MatrixF& x, MatrixF& out) const {
+  SWAT_EXPECTS(x.cols() == static_cast<std::int64_t>(gamma_.size()));
+  out.reshape(x.rows(), x.cols());
+  layer_norm_into(x, gamma_, beta_, eps_, out);
 }
 
 }  // namespace swat::model

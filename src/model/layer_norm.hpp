@@ -13,6 +13,11 @@ class LayerNorm {
   /// per-feature affine (gamma, beta).
   MatrixF forward(const MatrixF& x) const;
 
+  /// Allocation-free forward for the compiled execution plan: `out` is
+  /// reshaped in place (capacity retained) and may alias `x` (row-wise
+  /// in-place). Bit-identical to forward().
+  void forward_into(const MatrixF& x, MatrixF& out) const;
+
   std::vector<float>& gamma() { return gamma_; }
   std::vector<float>& beta() { return beta_; }
 

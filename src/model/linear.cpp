@@ -18,18 +18,24 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 }
 
 MatrixF Linear::forward(const MatrixF& x) const {
+  MatrixF y;
+  forward_into(x, y);
+  return y;
+}
+
+void Linear::forward_into(const MatrixF& x, MatrixF& y) const {
   SWAT_EXPECTS(x.cols() == in_features());
+  SWAT_EXPECTS(&y != &x);
   if (weight_t_dirty_) {
     weight_t_ = transpose(weight_);
     weight_t_dirty_ = false;
   }
-  MatrixF y(x.rows(), out_features());
+  y.reshape(x.rows(), out_features());
   // The GEMM streams the cached W^T unit-stride and seeds the accumulator
   // rows with the bias, so the bias add costs no extra pass over y.
   detail::gemm(x.data(), in_features(), weight_t_.data(), out_features(),
                y.data(), out_features(), x.rows(), out_features(),
                in_features(), bias_.data(), /*parallel=*/true);
-  return y;
 }
 
 }  // namespace swat::model

@@ -21,6 +21,12 @@ class Linear {
   /// Y = X W^T + b for X: batch x in_features.
   MatrixF forward(const MatrixF& x) const;
 
+  /// Allocation-free forward for the compiled execution plan: `y` is
+  /// reshaped to batch x out_features in place (capacity retained), so
+  /// repeated calls at or below y's high-water shape never allocate.
+  /// Bit-identical to forward(). `y` must not alias `x`.
+  void forward_into(const MatrixF& x, MatrixF& y) const;
+
   std::int64_t in_features() const { return weight_.cols(); }
   std::int64_t out_features() const { return weight_.rows(); }
 

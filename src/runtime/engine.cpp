@@ -1,0 +1,45 @@
+#include "runtime/engine.hpp"
+
+namespace swat {
+
+// EncoderConfig::validate runs inside the Encoder constructor, before any
+// weights are built, so a bad geometry fails here with a real message.
+Engine::Engine(model::EncoderConfig cfg) : encoder_(std::move(cfg)) {}
+
+Engine Engine::compile(model::EncoderConfig cfg, std::int64_t max_tokens) {
+  Engine engine(std::move(cfg));
+  engine.plan_ = engine.make_plan(max_tokens);
+  return engine;
+}
+
+ExecutionPlan Engine::make_plan(std::int64_t max_tokens) const {
+  SWAT_EXPECTS(max_tokens >= 1);
+  ExecutionPlan plan;
+  plan.max_tokens_ = max_tokens;
+  plan.d_model_ = encoder_.config().d_model;
+  plan.ffn_mult_ = encoder_.config().ffn_mult;
+  plan.arena_.bind(encoder_.config(), max_tokens);
+  plan.bound_floats_ = plan.arena_.capacity_floats();
+  return plan;
+}
+
+const MatrixF& Engine::run(const MatrixF& packed,
+                           std::span<const std::int64_t> offsets,
+                           std::span<model::AttentionStats> stats) {
+  return run(plan_, packed, offsets, stats);
+}
+
+const MatrixF& Engine::run(ExecutionPlan& plan, const MatrixF& packed,
+                           std::span<const std::int64_t> offsets,
+                           std::span<model::AttentionStats> stats) const {
+  SWAT_EXPECTS(plan.max_tokens_ >= 1 &&
+               "plan was not compiled (use Engine::compile / make_plan)");
+  SWAT_EXPECTS(plan.d_model_ == encoder_.config().d_model &&
+               plan.ffn_mult_ == encoder_.config().ffn_mult &&
+               "plan was minted for a different encoder geometry");
+  SWAT_EXPECTS(packed.rows() <= plan.max_tokens_ &&
+               "packed batch exceeds the plan's compiled high-water shape");
+  return encoder_.forward_batch_into(packed, offsets, stats, plan.arena_);
+}
+
+}  // namespace swat

@@ -30,13 +30,31 @@ double request_model_flops(const model::EncoderConfig& cfg,
 }  // namespace
 
 Runtime::Runtime(model::EncoderConfig cfg, BatchingOptions batching)
-    : encoder_(std::move(cfg)), batching_(batching) {
+    : engine_(std::move(cfg)), batching_(batching) {
   batching_.validate();
+}
+
+std::size_t Runtime::plan_arena_floats() const {
+  std::size_t total = 0;
+  for (const auto& [key, plan] : plans_) total += plan.arena_floats();
+  return total;
+}
+
+ExecutionPlan& Runtime::plan_for_rows(std::int64_t rows) {
+  SWAT_EXPECTS(rows >= 1);
+  const std::int64_t width = batching_.bucket_width;
+  const std::int64_t shape_class = (rows + width - 1) / width;
+  const auto it = plans_.find(shape_class);
+  if (it != plans_.end()) return it->second;
+  // Compile once for the class's high-water row count (every batch the
+  // batcher can emit in this class has rows <= shape_class * width).
+  return plans_.emplace(shape_class, engine_.make_plan(shape_class * width))
+      .first->second;
 }
 
 std::vector<RequestResult> Runtime::run(
     std::span<const InferenceRequest> requests) {
-  const std::int64_t d_model = encoder_.config().d_model;
+  const std::int64_t d_model = encoder().config().d_model;
   std::vector<std::int64_t> lengths;
   lengths.reserve(requests.size());
   for (const InferenceRequest& req : requests) {
@@ -65,7 +83,17 @@ std::vector<RequestResult> Runtime::run(
     }
 
     seg_stats_.assign(static_cast<std::size_t>(batch.requests()), {});
-    const MatrixF out = encoder_.forward_batch(packed_, offsets, seg_stats_);
+    // Batches within the token cap go through the cached per-class plans
+    // (a bounded set: at most ceil(max_batch_tokens / bucket_width)
+    // classes). An oversized singleton — a request longer than
+    // max_batch_tokens always forms its own batch — gets a throwaway plan
+    // instead, so one huge one-off document cannot pin a proportionally
+    // huge arena in the cache for the Runtime's lifetime.
+    ExecutionPlan transient;
+    ExecutionPlan& plan = rows > batching_.max_batch_tokens
+                              ? (transient = engine_.make_plan(rows))
+                              : plan_for_rows(rows);
+    const MatrixF& out = engine_.run(plan, packed_, offsets, seg_stats_);
 
     // Unpack into per-request results and counters.
     for (std::int64_t i = 0; i < batch.requests(); ++i) {
@@ -86,16 +114,22 @@ std::vector<RequestResult> Runtime::run(
       res.counters.swat_core_loads = st.swat_core_loads;
       res.counters.heads_run = st.heads_run;
       res.counters.model_flops =
-          request_model_flops(encoder_.config(), req.input.rows());
-
-      ++totals_.requests;
-      totals_.tokens += res.counters.tokens;
-      totals_.swat_offchip_traffic += res.counters.swat_offchip_traffic;
-      totals_.swat_core_loads += res.counters.swat_core_loads;
-      totals_.heads_run += res.counters.heads_run;
-      totals_.model_flops += res.counters.model_flops;
+          request_model_flops(encoder().config(), req.input.rows());
     }
     ++totals_.batches;
+  }
+
+  // Totals accumulate in submission order — the order a caller naturally
+  // sums RequestCounters in — so the documented "totals equal the
+  // field-wise sum of every RequestCounters" identity is exact even for
+  // the non-associative double (model_flops), not merely within a ULP.
+  for (const RequestResult& res : results) {
+    ++totals_.requests;
+    totals_.tokens += res.counters.tokens;
+    totals_.swat_offchip_traffic += res.counters.swat_offchip_traffic;
+    totals_.swat_core_loads += res.counters.swat_core_loads;
+    totals_.heads_run += res.counters.heads_run;
+    totals_.model_flops += res.counters.model_flops;
   }
   return results;
 }

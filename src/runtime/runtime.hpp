@@ -9,10 +9,13 @@
 //      comparable cost;
 //   2. each bucket is packed into a single ragged batch matrix (no padding
 //      — offsets mark the sequence boundaries);
-//   3. batches run through Encoder::forward_batch, where the
-//      position-independent layers execute as single GEMMs over all packed
-//      rows and attention fans out over (sequence, head) tasks on the
-//      shared ThreadPool;
+//   3. batches run through the compiled execution plan (runtime/engine.hpp):
+//      the runtime lazily compiles one ExecutionPlan per bucket *shape
+//      class* (ceil(rows / bucket_width)) and reuses it across run() calls,
+//      so the encoder stack executes entirely inside persistent arenas —
+//      position-independent layers as single GEMMs over all packed rows,
+//      attention fanned out over (sequence, head) tasks, no per-layer
+//      matrix ever allocated;
 //   4. outputs are unpacked and returned in submission order, each with its
 //      own separable counters.
 //
@@ -22,20 +25,24 @@
 //   * per-request counters are identical to a sequential run, and their
 //     sum equals the runtime's cumulative totals — the paper eval tables
 //     reconcile whether traffic is accounted per request or per batch;
-//   * with a host attention backend, serving after a warmup run at the
-//     high-water batch shape allocates no packed-activation staging
-//     (Matrix::reshape + per-worker Workspace arenas reuse capacity across
-//     requests). The SWAT-simulator backend allocates per-head core state
-//     inside the simulator by design — it is a value-level model, not a
-//     serving hot path.
+//   * with a host attention backend, the compiled path is allocation-free
+//     in steady state: after one warmup run over the workload's bucket
+//     shapes, Engine::run performs zero heap allocations (asserted with a
+//     global operator-new counter, single-threaded) and the plan set stops
+//     growing. The serving wrapper itself still allocates the returned
+//     per-request outputs and O(batch) bookkeeping — results the caller
+//     keeps — never activation staging. The SWAT-simulator backend
+//     allocates per-head core state inside the simulator by design — it is
+//     a value-level model, not a serving hot path.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
-#include "model/encoder.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/engine.hpp"
 
 namespace swat {
 
@@ -93,17 +100,38 @@ class Runtime {
   /// bit-identical to encoder().forward(request.input).
   RequestResult run_one(const InferenceRequest& request);
 
-  const model::Encoder& encoder() const { return encoder_; }
+  const model::Encoder& encoder() const { return engine_.encoder(); }
+  const Engine& engine() const { return engine_; }
   const BatchingOptions& batching() const { return batching_; }
 
   /// Cumulative totals across all run()/run_one() calls. Always equals the
   /// field-wise sum of every RequestCounters this runtime has returned.
   const RuntimeTotals& totals() const { return totals_; }
 
+  /// Compiled plans currently cached (one per bucket shape class served so
+  /// far) and their total bound arena footprint — stable across repeated
+  /// identical workloads, which tests/test_runtime.cpp asserts to prove
+  /// plans are reused rather than recompiled.
+  std::size_t plan_count() const { return plans_.size(); }
+  std::size_t plan_arena_floats() const;
+
  private:
-  model::Encoder encoder_;
+  /// The plan serving a packed batch of `rows` rows: plans are keyed by
+  /// the batch's shape class ceil(rows / bucket_width) and compiled for
+  /// that class's high-water row count, so every batch the batcher can
+  /// emit in the class fits, and repeated traffic reuses the arena.
+  /// One max-class plan could serve every smaller batch too (reshape
+  /// retains capacity), but per-class plans keep each arena right-sized to
+  /// its traffic and are independent — the prerequisite for running
+  /// different-shape batches concurrently when async batching lands. The
+  /// cache is bounded: batches beyond max_batch_tokens (oversized
+  /// singletons) run through a throwaway plan and are never cached.
+  ExecutionPlan& plan_for_rows(std::int64_t rows);
+
+  Engine engine_;
   BatchingOptions batching_;
   RuntimeTotals totals_;
+  std::map<std::int64_t, ExecutionPlan> plans_;  ///< shape class -> plan
 
   // Per-batch staging reused across run() calls; reshape() retains the
   // backing capacity, so serving stops allocating staging once the

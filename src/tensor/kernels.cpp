@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 
 #include "common/thread_pool.hpp"
 
@@ -279,6 +280,142 @@ MatrixF matmul_nt_naive(const MatrixF& a, const MatrixF& b) {
     }
   }
   return c;
+}
+
+// ------------------------------------------- plan-driven layer kernels ----
+
+namespace {
+
+/// Minimum elements per chunk for the elementwise fan-outs — coarse enough
+/// that a chunk amortizes the fork-join, matching the encoder's historical
+/// grain so the partition (and thus nothing, since the kernels are
+/// per-element) is unchanged.
+constexpr std::int64_t kElemGrain = 1 << 14;
+
+}  // namespace
+
+void layer_norm_into(ConstMatrixView x, std::span<const float> gamma,
+                     std::span<const float> beta, float eps, MatrixView out) {
+  SWAT_EXPECTS(out.rows() == x.rows() && out.cols() == x.cols());
+  SWAT_EXPECTS(gamma.size() == static_cast<std::size_t>(x.cols()));
+  SWAT_EXPECTS(beta.size() == static_cast<std::size_t>(x.cols()));
+  SWAT_EXPECTS(eps > 0.0f);
+  // Mean and variance accumulate in double, in index order — the exact
+  // arithmetic of the original LayerNorm::forward, so the planned path is
+  // bit-identical to it. Rows are independent, so the row fan-out cannot
+  // change results. In-place (out aliasing x row-for-row) is safe: each
+  // output element is written only after every read of its own index.
+  parallel_for(0, x.rows(), 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      auto in = x.row(i);
+      auto o = out.row(i);
+      double mean = 0.0;
+      for (float v : in) mean += v;
+      mean /= static_cast<double>(in.size());
+      double var = 0.0;
+      for (float v : in) {
+        const double d = v - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(in.size());
+      const double inv = 1.0 / std::sqrt(var + eps);
+      for (std::size_t j = 0; j < in.size(); ++j) {
+        o[j] = static_cast<float>((in[j] - mean) * inv) * gamma[j] + beta[j];
+      }
+    }
+  });
+}
+
+MatrixF layer_norm_naive(const MatrixF& x, std::span<const float> gamma,
+                         std::span<const float> beta, float eps) {
+  SWAT_EXPECTS(gamma.size() == static_cast<std::size_t>(x.cols()));
+  SWAT_EXPECTS(beta.size() == static_cast<std::size_t>(x.cols()));
+  SWAT_EXPECTS(eps > 0.0f);
+  MatrixF y(x.rows(), x.cols());
+  for (std::int64_t i = 0; i < x.rows(); ++i) {
+    auto in = x.row(i);
+    auto o = y.row(i);
+    double mean = 0.0;
+    for (float v : in) mean += v;
+    mean /= static_cast<double>(in.size());
+    double var = 0.0;
+    for (float v : in) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(in.size());
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      o[j] = static_cast<float>((in[j] - mean) * inv) * gamma[j] + beta[j];
+    }
+  }
+  return y;
+}
+
+float gelu(float x) {
+  const float c = std::sqrt(2.0f / std::numbers::pi_v<float>);
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+void gelu_into(ConstMatrixView x, MatrixView out) {
+  SWAT_EXPECTS(out.rows() == x.rows() && out.cols() == x.cols());
+  if (x.contiguous() && out.contiguous()) {
+    const float* in = x.data();
+    float* o = out.data();
+    parallel_for(0, x.size(), kElemGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i) o[i] = gelu(in[i]);
+                 });
+    return;
+  }
+  parallel_for(0, x.rows(), 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      auto in = x.row(i);
+      auto o = out.row(i);
+      for (std::size_t j = 0; j < in.size(); ++j) o[j] = gelu(in[j]);
+    }
+  });
+}
+
+MatrixF gelu_naive(const MatrixF& x) {
+  MatrixF y(x.rows(), x.cols());
+  auto in = x.flat();
+  auto o = y.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = gelu(in[i]);
+  return y;
+}
+
+void add_rows_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  SWAT_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  SWAT_EXPECTS(out.rows() == a.rows() && out.cols() == a.cols());
+  if (a.contiguous() && b.contiguous() && out.contiguous()) {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* o = out.data();
+    parallel_for(0, a.size(), kElemGrain,
+                 [&](std::int64_t i0, std::int64_t i1) {
+                   for (std::int64_t i = i0; i < i1; ++i) o[i] = pa[i] + pb[i];
+                 });
+    return;
+  }
+  parallel_for(0, a.rows(), 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      auto ra = a.row(i);
+      auto rb = b.row(i);
+      auto o = out.row(i);
+      for (std::size_t j = 0; j < ra.size(); ++j) o[j] = ra[j] + rb[j];
+    }
+  });
+}
+
+MatrixF add_rows_naive(const MatrixF& a, const MatrixF& b) {
+  SWAT_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  MatrixF y(a.rows(), a.cols());
+  auto fa = a.flat();
+  auto fb = b.flat();
+  auto o = y.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) o[i] = fa[i] + fb[i];
+  return y;
 }
 
 // -------------------------------------------------------------- softmax ----

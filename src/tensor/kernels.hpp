@@ -137,6 +137,44 @@ void transpose_raw(const float* a, std::int64_t lda, float* t,
 
 }  // namespace detail
 
+// ----------------------------------------------------------------------
+// Plan-driven elementwise / row-wise kernels. These are the layers of the
+// compiled execution plan that are neither GEMMs nor attention: they read
+// and write through non-owning MatrixViews so the Engine can run them over
+// pre-bound arena buffers with zero allocation, and each has a deliberately
+// scalar `*_naive` oracle the tests compare against bit-for-bit.
+// All three are deterministic for any thread count (strictly per-element /
+// per-row work, no cross-element reductions beyond a single row).
+
+/// Row-wise layer normalization: for each row, subtract the mean, divide by
+/// sqrt(var + eps) (both accumulated in double, in index order), then apply
+/// the per-feature affine. `out` must have x's shape and may alias x
+/// row-for-row (in-place). gamma/beta length must equal x.cols().
+void layer_norm_into(ConstMatrixView x, std::span<const float> gamma,
+                     std::span<const float> beta, float eps, MatrixView out);
+
+/// Scalar oracle for layer_norm_into (allocates its result).
+MatrixF layer_norm_naive(const MatrixF& x, std::span<const float> gamma,
+                         std::span<const float> beta, float eps);
+
+/// GELU activation, tanh approximation — the exact expression the encoder
+/// has always used, exposed at the tensor layer so the planned and the
+/// allocating paths share one definition.
+float gelu(float x);
+
+/// out[i, j] = gelu(x[i, j]); `out` may alias x (in-place).
+void gelu_into(ConstMatrixView x, MatrixView out);
+
+/// Scalar oracle for gelu_into (allocates its result).
+MatrixF gelu_naive(const MatrixF& x);
+
+/// out[i, j] = a[i, j] + b[i, j]; `out` may alias a or b (this is the
+/// residual-add of the encoder, usually run in place as a += b).
+void add_rows_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+
+/// Scalar oracle for add_rows_into (allocates its result).
+MatrixF add_rows_naive(const MatrixF& a, const MatrixF& b);
+
 /// Numerically-stable row softmax: subtracts the row max before
 /// exponentiation. This is the reference semantics for all accuracy
 /// comparisons.

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -85,6 +86,79 @@ class Matrix {
 
 using MatrixF = Matrix<float>;
 using MatrixD = Matrix<double>;
+
+/// Non-owning view of a dense row-major matrix (or a row-aligned slice of
+/// one): pointer + rows/cols + a row stride. This is the currency of the
+/// compiled execution plan — arena-backed kernels (`layer_norm_into`,
+/// `gelu_into`, `add_rows_into`) read and write through views so the same
+/// code runs over whole matrices and over sub-ranges of a packed batch
+/// without copying or taking ownership. A view is valid only while the
+/// viewed storage is: never outlive the Matrix (or arena buffer) behind it,
+/// and remember that Matrix::reshape may reallocate and invalidate views.
+template <typename T>
+class MatrixViewT {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  MatrixViewT() = default;
+
+  MatrixViewT(T* data, std::int64_t rows, std::int64_t cols,
+              std::int64_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    SWAT_EXPECTS(rows >= 0 && cols >= 0 && stride >= cols);
+  }
+
+  /// Whole-matrix views; implicit so kernels taking views accept a Matrix
+  /// directly.
+  MatrixViewT(Matrix<value_type>& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+  MatrixViewT(const Matrix<value_type>& m)  // NOLINT(google-explicit-constructor)
+    requires std::is_const_v<T>
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+
+  /// A mutable view converts to a const view, mirroring T* -> const T*.
+  operator MatrixViewT<const value_type>() const  // NOLINT
+    requires(!std::is_const_v<T>)
+  {
+    return {data_, rows_, cols_, stride_};
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  /// True when rows are adjacent in memory, i.e. the view can be walked as
+  /// one flat range of size() elements.
+  bool contiguous() const { return stride_ == cols_; }
+
+  T& operator()(std::int64_t r, std::int64_t c) const {
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * stride_ + c)];
+  }
+
+  std::span<T> row(std::int64_t r) const {
+    SWAT_CHECK_BOUNDS(r >= 0 && r < rows_);
+    return {data_ + r * stride_, static_cast<std::size_t>(cols_)};
+  }
+
+  /// Rows [r0, r0 + n) as a view sharing this view's storage.
+  MatrixViewT row_range(std::int64_t r0, std::int64_t n) const {
+    SWAT_CHECK_BOUNDS(r0 >= 0 && n >= 0 && r0 + n <= rows_);
+    return {data_ + r0 * stride_, n, cols_, stride_};
+  }
+
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t stride_ = 0;
+};
+
+using MatrixView = MatrixViewT<float>;
+using ConstMatrixView = MatrixViewT<const float>;
 
 /// Fill with iid normal(0, stddev) values; the standard synthetic stand-in
 /// for Q/K/V projections of token embeddings.

@@ -47,7 +47,9 @@ TEST(Fig8, SpeedupGrowsWithLength) {
 
 TEST(Fig9, ButterflyEnergyAnchorsAt16k) {
   // §5.3: "attaining 11.4x and 21.9x over BTF-1 and BTF-2 at 16384".
-  const auto& r = row9_at(fig9_energy_efficiency(), 16384);
+  // The vector must outlive the row reference (ASan caught the temporary).
+  const auto rows = fig9_energy_efficiency();
+  const auto& r = row9_at(rows, 16384);
   EXPECT_NEAR(r.fp16_vs_btf1, 11.4, 1.0);
   EXPECT_NEAR(r.fp16_vs_btf2, 21.9, 2.0);
 }

@@ -111,6 +111,96 @@ TEST(ErrorMetrics, MaxAbsDiffAndRelError) {
   EXPECT_DOUBLE_EQ(relative_error(b, b), 0.0);
 }
 
+// ------------------------------------- plan-driven layer kernels ----
+
+TEST(LayerNormInto, MatchesNaiveOracleBitExact) {
+  Rng rng(21);
+  const MatrixF x = random_normal(17, 24, rng, 3.0);
+  std::vector<float> gamma(24), beta(24);
+  for (std::size_t j = 0; j < 24; ++j) {
+    gamma[j] = 0.5f + 0.1f * static_cast<float>(j);
+    beta[j] = -1.0f + 0.05f * static_cast<float>(j);
+  }
+  const float eps = 1e-5f;
+  const MatrixF want = layer_norm_naive(x, gamma, beta, eps);
+  MatrixF got(17, 24);
+  layer_norm_into(x, gamma, beta, eps, got);
+  swat::testing::expect_matrix_equal(got, want, "layer_norm_into vs naive");
+}
+
+TEST(LayerNormInto, InPlaceAliasingMatchesOutOfPlace) {
+  Rng rng(22);
+  const MatrixF x = random_normal(9, 16, rng, 2.0);
+  std::vector<float> gamma(16, 1.0f), beta(16, 0.0f);
+  const MatrixF want = layer_norm_naive(x, gamma, beta, 1e-5f);
+  MatrixF inplace = x;
+  layer_norm_into(inplace, gamma, beta, 1e-5f, inplace);
+  swat::testing::expect_matrix_equal(inplace, want, "in-place layer_norm");
+}
+
+TEST(LayerNormInto, RejectsMismatchedAffineLength) {
+  MatrixF x(2, 4);
+  MatrixF out(2, 4);
+  std::vector<float> gamma(3, 1.0f), beta(4, 0.0f);
+  EXPECT_THROW(layer_norm_into(x, gamma, beta, 1e-5f, out),
+               std::invalid_argument);
+}
+
+TEST(GeluInto, MatchesNaiveOracleBitExactIncludingInPlace) {
+  Rng rng(23);
+  const MatrixF x = random_normal(13, 31, rng, 4.0);
+  const MatrixF want = gelu_naive(x);
+  MatrixF got(13, 31);
+  gelu_into(x, got);
+  swat::testing::expect_matrix_equal(got, want, "gelu_into vs naive");
+  MatrixF inplace = x;
+  gelu_into(inplace, inplace);
+  swat::testing::expect_matrix_equal(inplace, want, "in-place gelu");
+}
+
+TEST(AddRowsInto, MatchesNaiveOracleAndAliasing) {
+  Rng rng(24);
+  const MatrixF a = random_normal(11, 19, rng);
+  const MatrixF b = random_normal(11, 19, rng);
+  const MatrixF want = add_rows_naive(a, b);
+  MatrixF got(11, 19);
+  add_rows_into(a, b, got);
+  swat::testing::expect_matrix_equal(got, want, "add_rows_into vs naive");
+  // The residual-add form: out aliases the first operand.
+  MatrixF acc = a;
+  add_rows_into(acc, b, acc);
+  swat::testing::expect_matrix_equal(acc, want, "in-place residual add");
+}
+
+TEST(AddRowsInto, RejectsShapeMismatch) {
+  MatrixF a(2, 3), b(3, 2), out(2, 3);
+  EXPECT_THROW(add_rows_into(a, b, out), std::invalid_argument);
+}
+
+TEST(PlanKernels, StridedViewsTouchOnlyTheViewedBlock) {
+  // A non-contiguous view (stride > cols): rows 2..5, columns 1..3 of an
+  // 8 x 6 matrix. The kernel must write exactly the viewed block and leave
+  // every other element untouched.
+  Rng rng(25);
+  MatrixF big = random_normal(8, 6, rng);
+  const MatrixF before = big;
+  const MatrixView mid(big.data() + 2 * 6 + 1, 4, 3, 6);
+  ASSERT_FALSE(mid.contiguous());
+  MatrixF sub(4, 3);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) sub(i, j) = big(i + 2, j + 1);
+  }
+  gelu_into(static_cast<ConstMatrixView>(mid), mid);
+  const MatrixF want = gelu_naive(sub);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      const bool viewed = i >= 2 && i < 6 && j >= 1 && j < 4;
+      ASSERT_EQ(big(i, j), viewed ? want(i - 2, j - 1) : before(i, j))
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
 TEST(ErrorMetrics, RowCosine) {
   MatrixF a(2, 2);
   a(0, 0) = 1.0f;

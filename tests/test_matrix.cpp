@@ -117,5 +117,64 @@ TEST(RandomMatrix, 2dRequiresPerfectSquare) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------- MatrixView ----
+
+TEST(MatrixView, WholeMatrixViewSharesStorage) {
+  MatrixF m(3, 4);
+  float v = 0.0f;
+  for (float& x : m.flat()) x = v++;
+  MatrixView view = m;
+  EXPECT_EQ(view.rows(), 3);
+  EXPECT_EQ(view.cols(), 4);
+  EXPECT_EQ(view.stride(), 4);
+  EXPECT_TRUE(view.contiguous());
+  EXPECT_EQ(view.data(), m.data());
+  view(1, 2) = 100.0f;  // writes through to the owning matrix
+  EXPECT_FLOAT_EQ(m(1, 2), 100.0f);
+}
+
+TEST(MatrixView, ConstViewFromConstMatrix) {
+  const MatrixF m(2, 3, 7.0f);
+  ConstMatrixView view = m;
+  EXPECT_EQ(view.rows(), 2);
+  EXPECT_FLOAT_EQ(view(1, 1), 7.0f);
+  // A mutable view converts to a const view (but not the reverse).
+  MatrixF mm(2, 3);
+  MatrixView wview = mm;
+  ConstMatrixView cview = wview;
+  EXPECT_EQ(cview.data(), mm.data());
+}
+
+TEST(MatrixView, RowRangeIsAnAliasedSlice) {
+  MatrixF m(5, 2);
+  float v = 0.0f;
+  for (float& x : m.flat()) x = v++;
+  MatrixView view = m;
+  const MatrixView mid = view.row_range(1, 3);
+  EXPECT_EQ(mid.rows(), 3);
+  EXPECT_EQ(mid.cols(), 2);
+  EXPECT_FLOAT_EQ(mid(0, 0), m(1, 0));
+  mid(2, 1) = -1.0f;
+  EXPECT_FLOAT_EQ(m(3, 1), -1.0f);
+}
+
+TEST(MatrixView, StrideMustCoverCols) {
+  MatrixF m(4, 4);
+  EXPECT_THROW(MatrixView(m.data(), 4, 4, 3), std::invalid_argument);
+}
+
+TEST(MatrixView, RowSpanHonoursStride) {
+  MatrixF m(4, 6);
+  float v = 0.0f;
+  for (float& x : m.flat()) x = v++;
+  // Columns 2..4 of every row: stride 6, cols 3.
+  const MatrixView cols(m.data() + 2, 4, 3, 6);
+  EXPECT_FALSE(cols.contiguous());
+  auto r2 = cols.row(2);
+  ASSERT_EQ(r2.size(), 3u);
+  EXPECT_FLOAT_EQ(r2[0], m(2, 2));
+  EXPECT_FLOAT_EQ(r2[2], m(2, 4));
+}
+
 }  // namespace
 }  // namespace swat

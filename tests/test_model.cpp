@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "model/encoder.hpp"
 #include "tensor/kernels.hpp"
@@ -148,6 +150,120 @@ TEST(Mha, StatsTrackTrafficAndHeads) {
   // 4 heads x (Q + K + V + Z) x n x 8 dims x 2 bytes.
   EXPECT_EQ(s.swat_offchip_traffic.count, 4ull * 4 * n * 8 * 2);
   EXPECT_EQ(s.swat_core_loads, 4 * n);
+}
+
+TEST(Mha, StatsSpanMustMatchSequenceCountOrBeEmpty) {
+  // The documented contract: stats.size() == offsets.size() - 1, or 0.
+  // Anything else would silently mis-attribute per-request counters, so it
+  // must throw instead.
+  Rng rng(31);
+  const EncoderConfig base = small_config(AttentionBackend::kWindowExact);
+  Rng wrng(12);
+  MultiHeadAttention mha(32, 4, AttentionBackend::kWindowExact, base.swat,
+                         wrng);
+  const MatrixF x = random_normal(24, 32, rng);
+  const std::vector<std::int64_t> offsets = {0, 10, 24};  // two sequences
+
+  std::vector<AttentionStats> too_few(1), too_many(3), just_right(2);
+  EXPECT_THROW(mha.forward_batch(x, offsets, too_few),
+               std::invalid_argument);
+  EXPECT_THROW(mha.forward_batch(x, offsets, too_many),
+               std::invalid_argument);
+  EXPECT_NO_THROW(mha.forward_batch(x, offsets, just_right));
+  EXPECT_NO_THROW(mha.forward_batch(x, offsets, {}));
+  EXPECT_EQ(just_right[0].heads_run, 4);
+  EXPECT_EQ(just_right[1].heads_run, 4);
+}
+
+TEST(Linear, ForwardIntoMatchesForwardBitExact) {
+  Rng rng(32);
+  Linear lin(24, 40, rng);
+  const MatrixF x = random_normal(13, 24, rng);
+  const MatrixF want = lin.forward(x);
+  MatrixF got;
+  lin.forward_into(x, got);
+  swat::testing::expect_matrix_equal(got, want, "forward_into vs forward");
+  // Reuse at a smaller shape must still be exact (stale capacity retained).
+  const MatrixF x2 = random_normal(5, 24, rng);
+  const MatrixF want2 = lin.forward(x2);
+  lin.forward_into(x2, got);
+  swat::testing::expect_matrix_equal(got, want2, "forward_into reuse");
+}
+
+TEST(LayerNorm, ForwardIntoMatchesForwardAndWorksInPlace) {
+  Rng rng(33);
+  LayerNorm ln(16);
+  ln.gamma() = std::vector<float>(16, 1.5f);
+  ln.beta() = std::vector<float>(16, -0.25f);
+  const MatrixF x = random_normal(7, 16, rng, 3.0);
+  const MatrixF want = ln.forward(x);
+  MatrixF got;
+  ln.forward_into(x, got);
+  swat::testing::expect_matrix_equal(got, want, "forward_into vs forward");
+  MatrixF inplace = x;
+  ln.forward_into(inplace, inplace);
+  swat::testing::expect_matrix_equal(inplace, want, "in-place forward_into");
+}
+
+// ------------------------------------------- EncoderConfig::validate ----
+
+TEST(EncoderConfigValidate, AcceptsTheStandardGeometries) {
+  EXPECT_NO_THROW(small_config(AttentionBackend::kWindowExact).validate());
+  EXPECT_NO_THROW(
+      EncoderConfig::longformer_base(AttentionBackend::kWindowExact)
+          .validate());
+}
+
+TEST(EncoderConfigValidate, RejectsIndivisibleHeads) {
+  EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.num_heads = 5;  // 32 % 5 != 0
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("divisible by num_heads"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EncoderConfigValidate, RejectsNonPositiveDims) {
+  EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.d_model = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.num_heads = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EncoderConfigValidate, RejectsBadFfnMult) {
+  EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.ffn_mult = 0;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ffn_mult"), std::string::npos);
+  }
+}
+
+TEST(EncoderConfigValidate, RejectsZeroLayers) {
+  EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.layers = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(Encoder{cfg}, std::invalid_argument);  // ctor path too
+}
+
+TEST(EncoderConfigValidate, RejectsSwatHeadDimDrift) {
+  EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  cfg.swat.head_dim = 16;  // d_model / num_heads == 8
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("head_dim"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Mha, RejectsMismatchedHeadDim) {

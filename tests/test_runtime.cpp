@@ -5,12 +5,84 @@
 // Encoder::forward, for any batch composition and any thread count.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/runtime.hpp"
 #include "test_util.hpp"
+
+// ------------------------------------------------ global alloc counter ----
+// Every global operator new in this test binary bumps a counter; the
+// steady-state test asserts the counter does not move across a warmed
+// Engine::run. This is deliberately stronger than watching
+// Workspace::capacity_floats — it catches ANY heap allocation on the
+// planned path (std::function boxing, vector churn, temporary matrices),
+// not just kernel-arena growth.
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
+  ++g_alloc_count;
+  const std::size_t align = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+// The nothrow forms must be replaced too — libstdc++'s temporary buffers
+// (e.g. stable_sort) allocate through them, and mixing the default nothrow
+// new with our malloc-backed delete trips ASan's alloc-dealloc matching.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace swat {
 namespace {
@@ -242,6 +314,119 @@ TEST(Runtime, SteadyStateServingDoesNotGrowArenas) {
   rt.run(reqs);
   EXPECT_EQ(tls_workspace().capacity_floats(), warm_capacity);
   EXPECT_EQ(tls_workspace().slab_count(), warm_slabs);
+}
+
+// -------------------------------------------------- compiled plan path ----
+
+/// The tentpole guarantee: after one warmup pass over the workload's
+/// shapes, the compiled path performs ZERO heap allocations — asserted
+/// with the global operator-new counter, not an arena-capacity proxy.
+/// Single-threaded so the measurement excludes the pool's O(1) fork-join
+/// bookkeeping (with workers that is the only remaining allocation, and it
+/// is independent of batch size).
+TEST(RuntimePlanned, SteadyStateIsAllocationFreeAfterWarmup) {
+  // The hook must actually be observing allocations, or the ==0 assertion
+  // below would pass vacuously (gtest setup alone guarantees many).
+  ASSERT_GT(g_alloc_count.load(), 0u);
+
+  ThreadCountGuard guard(1);
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  Engine engine = Engine::compile(cfg, 200);
+
+  // Mixed bucket shapes: short, boundary (64), ragged multi-sequence, and
+  // the plan's high-water singleton.
+  const std::vector<std::vector<std::int64_t>> shapes = {
+      {31, 64, 17, 50}, {5}, {64, 64, 64}, {200}};
+  std::vector<std::pair<MatrixF, std::vector<std::int64_t>>> batches;
+  Rng rng(123);
+  for (const auto& lengths : shapes) {
+    std::vector<std::int64_t> offsets = {0};
+    std::int64_t rows = 0;
+    for (const std::int64_t len : lengths) offsets.push_back(rows += len);
+    batches.emplace_back(random_normal(rows, cfg.d_model, rng),
+                         std::move(offsets));
+  }
+  std::vector<model::AttentionStats> stats(8);
+
+  // Warmup: every shape once (binds thread-local staging and workspace
+  // slabs at their high-water sizes; the plan arena was bound at compile).
+  for (const auto& [packed, offsets] : batches) {
+    const std::size_t nseq = offsets.size() - 1;
+    engine.run(packed, offsets, std::span(stats.data(), nseq));
+  }
+
+  // Steady state: the same shapes again, counted.
+  const std::size_t before = g_alloc_count.load();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& [packed, offsets] : batches) {
+      const std::size_t nseq = offsets.size() - 1;
+      engine.run(packed, offsets, std::span(stats.data(), nseq));
+    }
+  }
+  const std::size_t allocs = g_alloc_count.load() - before;
+  EXPECT_EQ(allocs, 0u)
+      << allocs << " heap allocation(s) on the warmed planned path";
+}
+
+/// Plans must be compiled once per bucket shape class and reused across
+/// run() calls — not recompiled per batch.
+TEST(RuntimePlanned, PlansAreReusedAcrossRunCalls) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  BatchingOptions opt;
+  opt.bucket_width = 64;
+  opt.max_batch_requests = 8;
+  Runtime rt(cfg, opt);
+  // Classes: {5,63,64}->1, {65,128}->2 or 3, {40}->1 ... exact count below.
+  const auto reqs = make_requests(cfg, {5, 63, 64, 65, 1, 40, 128, 64});
+
+  const std::vector<RequestResult> first = rt.run(reqs);
+  const std::size_t plans_after_first = rt.plan_count();
+  const std::size_t arena_after_first = rt.plan_arena_floats();
+  EXPECT_GT(plans_after_first, 0u);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::vector<RequestResult> again = rt.run(reqs);
+    for (std::size_t i = 0; i < again.size(); ++i) {
+      testing::expect_matrix_equal(again[i].output, first[i].output,
+                                   "replayed planned serving");
+    }
+    EXPECT_EQ(rt.plan_count(), plans_after_first)
+        << "a repeated workload must not mint new plans";
+    EXPECT_EQ(rt.plan_arena_floats(), arena_after_first)
+        << "a repeated workload must not grow the plan arenas";
+  }
+
+  // A genuinely new shape class (a much longer request) compiles one more
+  // plan — lazily, exactly once.
+  const auto longer = make_requests(cfg, {300});
+  rt.run(longer);
+  EXPECT_EQ(rt.plan_count(), plans_after_first + 1);
+  rt.run(longer);
+  EXPECT_EQ(rt.plan_count(), plans_after_first + 1);
+}
+
+/// A request longer than max_batch_tokens forms its own batch; it must be
+/// served through a throwaway plan, not pin a proportionally huge arena in
+/// the cache for the Runtime's lifetime.
+TEST(RuntimePlanned, OversizedSingletonsDoNotPinCachedPlans) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  BatchingOptions opt;
+  opt.bucket_width = 64;
+  opt.max_batch_tokens = 100;
+  Runtime rt(cfg, opt);
+
+  rt.run(make_requests(cfg, {40, 80}));  // two regular classes get cached
+  const std::size_t plans = rt.plan_count();
+  const std::size_t arena = rt.plan_arena_floats();
+
+  const auto huge = make_requests(cfg, {400});
+  const auto got = rt.run(huge);
+  EXPECT_EQ(rt.plan_count(), plans);
+  EXPECT_EQ(rt.plan_arena_floats(), arena);
+
+  const model::Encoder oracle(cfg);
+  testing::expect_matrix_equal(got[0].output, oracle.forward(huge[0].input),
+                               "oversized singleton vs Encoder::forward");
 }
 
 }  // namespace

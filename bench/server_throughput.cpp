@@ -1,0 +1,287 @@
+// Open-loop serving benchmark: the asynchronous continuous-batching
+// swat::Server against the synchronous swat::Runtime gather-loop, under
+// Poisson request arrivals. Emits BENCH_server.json.
+//
+// Arrivals are OPEN-LOOP: request i is submitted at a pre-drawn absolute
+// time regardless of how far the server has fallen behind — the regime
+// where queue latency actually exists. The arrival process is Poisson
+// (exponential inter-arrival gaps) from a deterministic seed, so the same
+// machine replays the same schedule run to run. Arrival intensity is
+// calibrated against the measured sequential service rate: arms run at
+// 0.5x (underloaded — latency dominated by batch-formation waits) and 2.0x
+// (overloaded — latency dominated by queueing) of what one synchronous
+// stream can absorb.
+//
+//   * sync  — the pre-server serving loop: a dispatcher wakes when the
+//     next request arrives, gathers everything that has arrived so far,
+//     and blocks in Runtime::run until the batch is done. Requests that
+//     arrive mid-run wait for the whole run to finish.
+//   * async — swat::Server: submit() returns immediately, the scheduler
+//     thread cuts batches continuously (caps + predicted-latency budget
+//     from the paper's stage-latency model) and overlaps batch formation
+//     with request arrival.
+//
+// Queue latency is the time a request spends admitted-but-unserved before
+// its batch starts executing (server-stamped for the async arm, measured
+// at the gather point for the sync arm); the table reports p50/p99 per
+// arm plus end-to-end tokens/s over the makespan. Async outputs are
+// checked bit-identical to the sequential oracle before any timing is
+// believed.
+//
+// Usage: server_throughput [--smoke] [--out <path>]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/server.hpp"
+
+namespace {
+
+using swat::InferenceRequest;
+using swat::MatrixF;
+using swat::RequestResult;
+using swat::Runtime;
+using swat::Server;
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+struct ArmResult {
+  std::string mode;
+  double intensity_rel = 0.0;  ///< arrival rate / sequential service rate
+  double intensity_rps = 0.0;
+  double p50_queue_ms = 0.0;
+  double p99_queue_ms = 0.0;
+  double tokens_per_s = 0.0;
+  std::int64_t batches = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  // The serving-sized encoder the runtime bench standardizes on.
+  swat::model::EncoderConfig cfg;
+  cfg.d_model = smoke ? 128 : 256;
+  cfg.num_heads = smoke ? 2 : 4;
+  cfg.ffn_mult = 4;
+  cfg.layers = smoke ? 2 : 4;
+  cfg.backend = swat::model::AttentionBackend::kWindowExact;
+  cfg.swat = swat::SwatConfig();
+  cfg.swat.head_dim = 64;
+  cfg.swat.window_cores = 64;
+  cfg.weight_seed = 17;
+
+  const std::int64_t num_requests = smoke ? 16 : 64;
+  const std::vector<std::int64_t> length_cycle =
+      smoke ? std::vector<std::int64_t>{48, 64, 96, 33}
+            : std::vector<std::int64_t>{96, 128, 192, 256, 112, 160, 224, 144};
+  swat::Rng rng(2025);
+  std::vector<InferenceRequest> requests;
+  std::int64_t total_tokens = 0;
+  for (std::int64_t i = 0; i < num_requests; ++i) {
+    InferenceRequest req;
+    req.id = static_cast<std::uint64_t>(i);
+    const std::int64_t len =
+        length_cycle[static_cast<std::size_t>(i) % length_cycle.size()];
+    req.input = swat::random_normal(len, cfg.d_model, rng);
+    total_tokens += len;
+    requests.push_back(std::move(req));
+  }
+
+  // Correctness gate + service-rate calibration in one pass: the async
+  // server must reproduce the sequential oracle bit for bit, and the
+  // timed oracle loop measures the sequential service rate the arrival
+  // intensities are expressed against.
+  const swat::model::Encoder encoder(cfg);
+  std::vector<MatrixF> oracle;
+  const auto calib_start = Clock::now();
+  for (const InferenceRequest& req : requests) {
+    oracle.push_back(encoder.forward(req.input));
+  }
+  const double sequential_seconds =
+      std::chrono::duration<double>(Clock::now() - calib_start).count();
+  const double service_rps =
+      static_cast<double>(num_requests) / sequential_seconds;
+  {
+    Server server(cfg);
+    std::vector<Server::Ticket> tickets;
+    for (const InferenceRequest& req : requests) {
+      tickets.push_back(server.submit(req));  // submit copies its argument
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const RequestResult got = tickets[i].get();
+      if (!(got.output == oracle[i])) {
+        std::cerr << "FATAL: async output diverges from sequential oracle "
+                     "for request "
+                  << i << "\n";
+        return 1;
+      }
+    }
+  }
+
+  const std::vector<double> intensities = {0.5, 2.0};
+  std::vector<ArmResult> arms;
+
+  for (const double rel : intensities) {
+    const double rps = rel * service_rps;
+    // Deterministic Poisson arrival schedule (absolute offsets, seconds).
+    swat::Rng arrival_rng(
+        777 + static_cast<std::uint64_t>(rel * 1000.0));
+    std::vector<double> arrival(requests.size());
+    double t = 0.0;
+    for (double& a : arrival) {
+      t += -std::log(1.0 - arrival_rng.uniform(0.0, 1.0)) / rps;
+      a = t;
+    }
+
+    // ---- sync arm: arrive, gather, block in Runtime::run.
+    {
+      Runtime runtime(cfg);
+      std::vector<double> queue_ms(requests.size(), 0.0);
+      const auto start = Clock::now();
+      std::size_t next = 0;
+      double last_done = 0.0;
+      while (next < requests.size()) {
+        const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         arrival[next]));
+        std::this_thread::sleep_until(due);
+        const double now =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        std::vector<InferenceRequest> burst;
+        std::vector<std::size_t> burst_ids;
+        while (next < requests.size() && arrival[next] <= now) {
+          burst.push_back(requests[next]);
+          burst_ids.push_back(next);
+          ++next;
+        }
+        const double run_start =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        for (const std::size_t i : burst_ids) {
+          queue_ms[i] = (run_start - arrival[i]) * 1e3;
+        }
+        (void)runtime.run(burst);
+        last_done =
+            std::chrono::duration<double>(Clock::now() - start).count();
+      }
+      ArmResult arm;
+      arm.mode = "sync";
+      arm.intensity_rel = rel;
+      arm.intensity_rps = rps;
+      arm.p50_queue_ms = percentile(queue_ms, 0.5);
+      arm.p99_queue_ms = percentile(queue_ms, 0.99);
+      arm.tokens_per_s = static_cast<double>(total_tokens) / last_done;
+      arm.batches = runtime.totals().batches;
+      arms.push_back(arm);
+    }
+
+    // ---- async arm: open-loop submit, scheduler batches continuously.
+    {
+      swat::ServerOptions opt;
+      // Let the stage-latency model cap batches at ~4 mid-length requests
+      // of predicted work, so the budget (not just the caps) shapes cuts.
+      opt.batching.max_batch_latency = swat::Seconds{
+          swat::BatchCostModel(cfg)
+              .request_seconds(length_cycle[1])
+              .value *
+          4.0};
+      Server server(cfg, opt);
+      std::vector<Server::Ticket> tickets(requests.size());
+      const auto start = Clock::now();
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         arrival[i]));
+        std::this_thread::sleep_until(due);
+        tickets[i] = server.submit(requests[i]);
+      }
+      std::vector<double> queue_ms;
+      queue_ms.reserve(requests.size());
+      for (Server::Ticket& ticket : tickets) {
+        queue_ms.push_back(ticket.get().counters.queue_delay.value * 1e3);
+      }
+      const double makespan =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      ArmResult arm;
+      arm.mode = "async";
+      arm.intensity_rel = rel;
+      arm.intensity_rps = rps;
+      arm.p50_queue_ms = percentile(queue_ms, 0.5);
+      arm.p99_queue_ms = percentile(queue_ms, 0.99);
+      arm.tokens_per_s = static_cast<double>(total_tokens) / makespan;
+      arm.batches = server.totals().batches;
+      arms.push_back(arm);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"default_threads\": " << swat::num_threads() << ",\n"
+      << "  \"requests\": " << num_requests << ",\n"
+      << "  \"total_tokens\": " << total_tokens << ",\n"
+      << "  \"sequential_service_rps\": " << service_rps << ",\n"
+      << "  \"config\": {\"d_model\": " << cfg.d_model
+      << ", \"num_heads\": " << cfg.num_heads << ", \"layers\": " << cfg.layers
+      << ", \"window_tokens\": " << cfg.swat.window_cores << "},\n"
+      << "  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    out << "    {\"mode\": \"" << a.mode
+        << "\", \"intensity_rel\": " << a.intensity_rel
+        << ", \"intensity_rps\": " << a.intensity_rps
+        << ", \"p50_queue_ms\": " << a.p50_queue_ms
+        << ", \"p99_queue_ms\": " << a.p99_queue_ms
+        << ", \"tokens_per_s\": " << a.tokens_per_s
+        << ", \"batches\": " << a.batches << "}"
+        << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::printf(
+      "server throughput (%lld requests, %lld tokens, seq service %.1f "
+      "req/s)\n",
+      static_cast<long long>(num_requests),
+      static_cast<long long>(total_tokens), service_rps);
+  std::printf("%-8s %10s %12s %14s %14s %14s %8s\n", "mode", "load",
+              "arrive r/s", "p50 queue ms", "p99 queue ms", "tokens/s",
+              "batches");
+  for (const ArmResult& a : arms) {
+    std::printf("%-8s %9.1fx %12.1f %14.2f %14.2f %14.0f %8lld\n",
+                a.mode.c_str(), a.intensity_rel, a.intensity_rps,
+                a.p50_queue_ms, a.p99_queue_ms, a.tokens_per_s,
+                static_cast<long long>(a.batches));
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return out ? 0 : 1;
+}

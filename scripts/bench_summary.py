@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Merge BENCH_*.json artifacts into one markdown trajectory table.
+
+Every bench in this repository emits a machine-readable JSON file
+(BENCH_kernels.json, BENCH_runtime.json, BENCH_server.json, ...). Each file
+follows the same loose shape: top-level scalars describing the workload,
+plus one or more arrays of flat objects (the measurement arms). This tool
+renders them all into a single report so the CI "Show bench results" step
+(and anyone comparing artifacts across PRs) reads one table instead of raw
+JSON:
+
+  * a headline table — one row per bench file with its throughput-style
+    metrics (any numeric field matching *_per_s / *speedup* / *_ms), so the
+    perf trajectory of the repo is visible at a glance;
+  * per-bench sections — the top-level scalars, then each measurement
+    array as a markdown table.
+
+Usage: bench_summary.py [BENCH_a.json ...]   (default: BENCH_*.json in cwd)
+Exits non-zero if any named file is missing or unparsable; a run with no
+bench files at all is an error too (the step exists so the trajectory
+cannot silently go empty).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HEADLINE_MARKERS = ("_per_s", "speedup", "_ms", "_rps", "_tps")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def table(headers, rows):
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def arm_label(arm):
+    """A human row label from an arm's non-numeric fields (mode, threads...)."""
+    parts = []
+    for key, value in arm.items():
+        if not is_number(value):
+            parts.append(f"{key}={value}")
+        elif key in ("threads", "intensity_rel", "batch_size"):
+            parts.append(f"{key}={fmt(value)}")
+    return ", ".join(parts) if parts else "-"
+
+
+def headline_rows(name, data):
+    """(bench, arm, metric, value) rows for throughput-style numbers."""
+    rows = []
+    arrays = {k: v for k, v in data.items()
+              if isinstance(v, list) and v and all(
+                  isinstance(e, dict) for e in v)}
+    for arr in arrays.values():
+        for arm in arr:
+            for key, value in arm.items():
+                if is_number(value) and any(
+                        m in key for m in HEADLINE_MARKERS):
+                    rows.append((name, arm_label(arm), key, fmt(value)))
+    for key, value in data.items():
+        if is_number(value) and any(m in key for m in HEADLINE_MARKERS):
+            rows.append((name, "-", key, fmt(value)))
+    return rows
+
+
+def render(files):
+    benches = []
+    for path in files:
+        with path.open(encoding="utf-8") as fh:
+            benches.append((path.name, json.load(fh)))
+
+    out = ["# Bench trajectory", ""]
+    headline = []
+    for name, data in benches:
+        headline += headline_rows(name, data)
+    if headline:
+        out.append(table(("bench", "arm", "metric", "value"),
+                         [list(r) for r in headline]))
+        out.append("")
+
+    for name, data in benches:
+        out.append(f"## {name}")
+        out.append("")
+        scalars = [(k, fmt(v)) for k, v in data.items()
+                   if not isinstance(v, (list, dict))]
+        if scalars:
+            out.append(table(("field", "value"), [list(s) for s in scalars]))
+            out.append("")
+        for key, value in data.items():
+            if (isinstance(value, list) and value
+                    and all(isinstance(e, dict) for e in value)):
+                cols = []
+                for entry in value:
+                    for col in entry:
+                        if col not in cols:
+                            cols.append(col)
+                rows = [[fmt(entry.get(c, "")) for c in cols]
+                        for entry in value]
+                out.append(f"### {key}")
+                out.append("")
+                out.append(table(cols, rows))
+                out.append("")
+    return "\n".join(out)
+
+
+def main(argv):
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+        missing = [f for f in files if not f.exists()]
+        if missing:
+            for f in missing:
+                print(f"error: no such bench artifact: {f}", file=sys.stderr)
+            return 1
+    else:
+        files = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not files:
+        print("error: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    try:
+        print(render(files))
+    except (json.JSONDecodeError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,10 @@
 2. Every src/<subsystem>/ directory must be mentioned in
    docs/ARCHITECTURE.md — the architecture map may not silently go stale
    when a subsystem is added.
+3. The public API of the serving front-end (src/runtime/server.hpp: every
+   top-level type and every public method of Server) must be mentioned in
+   docs/ARCHITECTURE.md — doc drift on the new subsystem fails CI like a
+   missing subsystem does.
 
 Exits non-zero with one line per violation.
 """
@@ -52,15 +56,72 @@ def check_architecture_mentions(errors):
                 f"docs/ARCHITECTURE.md: subsystem src/{sub}/ is not mentioned")
 
 
+TYPE_RE = re.compile(r"^(?:class|struct|enum class)\s+(\w+)", re.MULTILINE)
+METHOD_RE = re.compile(r"^\s+(?:[\w:<>&*~,\s]+\s)?(\w+)\(")
+CPP_KEYWORDS = {"if", "while", "for", "switch", "return", "sizeof",
+                "static_cast", "operator"}
+
+
+def server_public_api(header):
+    """Top-level type names + public method names of class Server."""
+    text = header.read_text(encoding="utf-8")
+    names = set(TYPE_RE.findall(text))
+
+    lines = text.splitlines()
+    in_server, public = False, False
+    depth = 0
+    for line in lines:
+        if re.match(r"^class Server\b", line):
+            in_server = True  # class access defaults to private
+            public = False
+        if not in_server:
+            continue
+        depth += line.count("{") - line.count("}")
+        if re.match(r"^\s*public:", line):
+            public = True
+        elif re.match(r"^\s*(private|protected):", line):
+            public = False
+        elif public:
+            m = METHOD_RE.match(line)
+            if m:
+                name = m.group(1)
+                if name not in CPP_KEYWORDS and not name.startswith("~") \
+                        and name != "Server":
+                    names.add(name)
+        if depth <= 0 and "};" in line and in_server:
+            break
+    return sorted(names)
+
+
+def check_server_api_mentions(errors):
+    header = REPO / "src" / "runtime" / "server.hpp"
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not header.exists():
+        errors.append("src/runtime/server.hpp is missing")
+        return
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+    for name in server_public_api(header):
+        # Word-bounded: 'submit' must not pass on the strength of
+        # 'submitters', nor 'drain' on 'drained'.
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(
+                "docs/ARCHITECTURE.md: server.hpp public API "
+                f"`{name}` is not documented")
+
+
 def main():
     errors = []
     check_links(errors)
     check_architecture_mentions(errors)
+    check_server_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
-              "all links resolve, architecture map covers src/")
+              "all links resolve, architecture map covers src/, "
+              "server API documented")
     return 1 if errors else 0
 
 

@@ -1,15 +1,107 @@
 #include "runtime/batcher.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "common/contracts.hpp"
+#include "runtime/cost_model.hpp"
 
 namespace swat {
 
 void BatchingOptions::validate() const {
-  SWAT_EXPECTS(max_batch_requests >= 1);
-  SWAT_EXPECTS(max_batch_tokens >= 1);
-  SWAT_EXPECTS(bucket_width >= 1);
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("BatchingOptions: " + what);
+  };
+  if (max_batch_requests < 1) {
+    fail("max_batch_requests must be >= 1, got " +
+         std::to_string(max_batch_requests));
+  }
+  if (max_batch_tokens < 1) {
+    fail("max_batch_tokens must be >= 1, got " +
+         std::to_string(max_batch_tokens) +
+         " — a batch must be able to hold at least one token");
+  }
+  if (bucket_width < 1) {
+    fail("bucket_width must be >= 1, got " + std::to_string(bucket_width));
+  }
+  if (max_batch_latency.value < 0.0) {
+    fail("max_batch_latency must be >= 0 seconds (0 disables the budget), "
+         "got " +
+         std::to_string(max_batch_latency.value));
+  }
+}
+
+BatchFormer::BatchFormer(BatchingOptions opt, const BatchCostModel* cost_model)
+    : opt_(opt), cost_model_(cost_model) {
+  opt_.validate();
+}
+
+void BatchFormer::cut(Bucket& bucket) {
+  SWAT_ENSURES(!bucket.batch.request_indices.empty());
+  pending_requests_ -= bucket.batch.requests();
+  pending_tokens_ -= bucket.batch.rows();
+  ready_.push_back(std::move(bucket.batch));
+  bucket.batch = BatchPlanEntry{};
+  bucket.predicted = Seconds{0.0};
+}
+
+std::size_t BatchFormer::push(std::size_t request_index, std::int64_t length) {
+  SWAT_EXPECTS(length >= 1);
+  const std::int64_t key =
+      (length + opt_.bucket_width - 1) / opt_.bucket_width;
+  Bucket& bucket = buckets_[key];
+  std::size_t cuts = 0;
+
+  // The request does not fit the open batch: cut it and start fresh. An
+  // oversized request (length > max_batch_tokens) lands in an empty batch
+  // and is cut as a singleton by the full_tokens check below.
+  if (!bucket.batch.request_indices.empty() &&
+      bucket.batch.rows() + length > opt_.max_batch_tokens) {
+    cut(bucket);
+    ++cuts;
+  }
+
+  if (bucket.batch.offsets.empty()) bucket.batch.offsets.push_back(0);
+  bucket.batch.request_indices.push_back(request_index);
+  bucket.batch.offsets.push_back(bucket.batch.rows() + length);
+  ++pending_requests_;
+  pending_tokens_ += length;
+  if (cost_model_) bucket.predicted += cost_model_->request_seconds(length);
+
+  // Cut the moment the batch cannot (or should not) grow further. The
+  // budget check runs after insertion, so a budget below one request's
+  // predicted cost still forms singleton batches — never starvation.
+  const bool full_requests =
+      bucket.batch.requests() >= opt_.max_batch_requests;
+  const bool full_tokens = bucket.batch.rows() >= opt_.max_batch_tokens;
+  const bool over_budget = cost_model_ != nullptr &&
+                           opt_.max_batch_latency.value > 0.0 &&
+                           bucket.predicted >= opt_.max_batch_latency;
+  if (full_requests || full_tokens || over_budget) {
+    cut(bucket);
+    ++cuts;
+  }
+  return cuts;
+}
+
+std::size_t BatchFormer::flush() {
+  std::size_t cuts = 0;
+  for (auto& [key, bucket] : buckets_) {
+    if (!bucket.batch.request_indices.empty()) {
+      cut(bucket);
+      ++cuts;
+    }
+  }
+  return cuts;
+}
+
+BatchPlanEntry BatchFormer::pop_ready() {
+  SWAT_EXPECTS(!ready_.empty());
+  BatchPlanEntry entry = std::move(ready_.front());
+  ready_.pop_front();
+  return entry;
 }
 
 std::vector<BatchPlanEntry> plan_batches(std::span<const std::int64_t> lengths,
@@ -32,30 +124,23 @@ std::vector<BatchPlanEntry> plan_batches(std::span<const std::int64_t> lengths,
                      return keys[a] < keys[b];
                    });
 
+  // Feed the sorted order through the incremental former, flushing at each
+  // class boundary — at most one bucket is ever open, and the emitted
+  // batches match the historical greedy sweep batch for batch.
+  BatchFormer former(opt);
   std::vector<BatchPlanEntry> plan;
-  BatchPlanEntry batch;
-  batch.offsets.push_back(0);
-  const auto flush = [&] {
-    if (!batch.request_indices.empty()) {
-      plan.push_back(std::move(batch));
-      batch = BatchPlanEntry{};
-      batch.offsets.push_back(0);
-    }
+  const auto drain = [&] {
+    while (former.has_ready()) plan.push_back(former.pop_ready());
   };
-  std::int64_t current_key = 0;
+  std::int64_t prev_key = 0;  // no real class is 0 (lengths are >= 1)
   for (const std::size_t i : order) {
-    const std::int64_t len = lengths[i];
-    if (!batch.request_indices.empty() &&
-        (keys[i] != current_key ||
-         batch.requests() >= opt.max_batch_requests ||
-         batch.rows() + len > opt.max_batch_tokens)) {
-      flush();
-    }
-    current_key = keys[i];
-    batch.request_indices.push_back(i);
-    batch.offsets.push_back(batch.rows() + len);
+    if (keys[i] != prev_key) former.flush();
+    prev_key = keys[i];
+    former.push(i, lengths[i]);
+    drain();
   }
-  flush();
+  former.flush();
+  drain();
   return plan;
 }
 

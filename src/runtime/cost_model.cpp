@@ -1,0 +1,23 @@
+#include "runtime/cost_model.hpp"
+
+namespace swat {
+
+BatchCostModel::BatchCostModel(const model::EncoderConfig& cfg)
+    : analytic_((cfg.validate(), cfg.swat)),
+      num_heads_(static_cast<int>(cfg.num_heads)),
+      layers_(cfg.layers) {}
+
+Seconds BatchCostModel::request_seconds(std::int64_t seq_len) const {
+  SWAT_EXPECTS(seq_len >= 1);
+  return analytic_.model_time(seq_len, num_heads_, layers_);
+}
+
+Seconds BatchCostModel::batch_seconds(const BatchPlanEntry& entry) const {
+  Seconds total;
+  for (std::size_t i = 0; i + 1 < entry.offsets.size(); ++i) {
+    total += request_seconds(entry.offsets[i + 1] - entry.offsets[i]);
+  }
+  return total;
+}
+
+}  // namespace swat

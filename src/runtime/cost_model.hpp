@@ -1,0 +1,48 @@
+// BatchCostModel — the paper's hardware latency model repackaged as a
+// serving-layer signal.
+//
+// The stage-latency pipeline model (swat/stage_latency.hpp, paper Table 1)
+// and its closed form (swat/analytic.hpp) predict how long the accelerator
+// takes to serve a head of a given length. The continuous batcher needs
+// exactly that number to decide *when to stop waiting and cut a batch*: a
+// batch whose predicted service time already exceeds the latency budget
+// should run now, not wait for more arrivals it would make even later.
+// This adapter maps encoder requests and formed batches onto the analytic
+// model so the hw model drives the serving layer.
+#pragma once
+
+#include <cstdint>
+
+#include "model/encoder.hpp"
+#include "runtime/batcher.hpp"
+#include "swat/analytic.hpp"
+
+namespace swat {
+
+class BatchCostModel {
+ public:
+  /// Validates `cfg` (EncoderConfig::validate) and builds the closed-form
+  /// pipeline model for its SWAT configuration.
+  explicit BatchCostModel(const model::EncoderConfig& cfg);
+
+  /// Predicted accelerator time to serve one request of `seq_len` tokens:
+  /// AnalyticModel::model_time over the encoder's heads x layers (heads
+  /// stream through the row pipeline back to back; §5.3's "total attention
+  /// time is proportional to the execution time of a single head").
+  Seconds request_seconds(std::int64_t seq_len) const;
+
+  /// Predicted time for a formed batch: the sum over its member requests.
+  /// Batch members share no attention work — packing wins host-side GEMM
+  /// width and task parallelism, not accelerator cycles — so the pipeline
+  /// occupancy of a batch is additive in its members.
+  Seconds batch_seconds(const BatchPlanEntry& entry) const;
+
+  const AnalyticModel& analytic() const { return analytic_; }
+
+ private:
+  AnalyticModel analytic_;
+  int num_heads_;
+  int layers_;
+};
+
+}  // namespace swat

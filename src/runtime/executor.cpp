@@ -1,0 +1,131 @@
+#include "runtime/executor.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "attention/flops.hpp"
+
+namespace swat {
+
+namespace {
+
+/// Analytic model cost of one request (all layers) from the encoder
+/// geometry — a pure function of the request length, so the batched and
+/// sequential paths trivially agree on it.
+double request_model_flops(const model::EncoderConfig& cfg,
+                           std::int64_t seq_len) {
+  attn::LayerShape shape;
+  shape.seq_len = seq_len;
+  shape.d_model = cfg.d_model;
+  shape.num_heads = cfg.num_heads;
+  shape.ffn_mult = cfg.ffn_mult;
+  const bool dense = cfg.backend == model::AttentionBackend::kDenseReference;
+  const attn::LayerCost cost = attn::analyze_layer(
+      shape,
+      dense ? attn::AttentionVariant::kDense : attn::AttentionVariant::kWindow,
+      cfg.swat.window_cores);
+  return cost.total_flops() * static_cast<double>(cfg.layers);
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const Engine& engine, std::int64_t bucket_width,
+                     std::int64_t max_batch_tokens)
+    : engine_(engine),
+      bucket_width_(bucket_width),
+      max_batch_tokens_(max_batch_tokens) {
+  SWAT_EXPECTS(bucket_width >= 1);
+  SWAT_EXPECTS(max_batch_tokens >= 1);
+}
+
+ExecutionPlan& PlanCache::acquire(std::int64_t rows,
+                                  ExecutionPlan& transient) {
+  SWAT_EXPECTS(rows >= 1);
+  if (rows > max_batch_tokens_) {
+    // Oversized singleton: a throwaway plan, never cached.
+    transient = engine_.make_plan(rows);
+    return transient;
+  }
+  const std::int64_t shape_class = (rows + bucket_width_ - 1) / bucket_width_;
+  std::lock_guard lock(mutex_);
+  const auto it = plans_.find(shape_class);
+  if (it != plans_.end()) return it->second;
+  // Compile once for the class's high-water row count (every batch the
+  // batcher can emit in this class has rows <= shape_class * bucket_width).
+  return plans_
+      .emplace(shape_class, engine_.make_plan(shape_class * bucket_width_))
+      .first->second;
+}
+
+std::size_t PlanCache::plan_count() const {
+  std::lock_guard lock(mutex_);
+  return plans_.size();
+}
+
+std::size_t PlanCache::plan_arena_floats() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, plan] : plans_) total += plan.arena_floats();
+  return total;
+}
+
+BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching)
+    : engine_(std::move(cfg)),
+      batching_((batching.validate(), batching)),
+      cache_(engine_, batching.bucket_width, batching.max_batch_tokens) {}
+
+std::vector<RequestResult> BatchExecutor::execute(
+    const BatchPlanEntry& entry,
+    std::span<const InferenceRequest* const> inputs) {
+  const std::int64_t n = entry.requests();
+  SWAT_EXPECTS(n >= 1);
+  SWAT_EXPECTS(static_cast<std::int64_t>(inputs.size()) == n);
+  SWAT_EXPECTS(static_cast<std::int64_t>(entry.offsets.size()) == n + 1);
+  const std::int64_t d_model = encoder().config().d_model;
+  const std::int64_t rows = entry.rows();
+  const std::vector<std::int64_t>& offsets = entry.offsets;
+
+  std::vector<RequestResult> results(static_cast<std::size_t>(n));
+  std::lock_guard lock(run_mutex_);
+
+  // Pack: each request's rows are contiguous row-major, so one memcpy per
+  // request moves its whole block into the reused staging matrix.
+  packed_.reshape(rows, d_model);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const InferenceRequest& req = *inputs[static_cast<std::size_t>(i)];
+    SWAT_EXPECTS(req.input.cols() == d_model);
+    SWAT_EXPECTS(req.input.rows() ==
+                 offsets[static_cast<std::size_t>(i) + 1] -
+                     offsets[static_cast<std::size_t>(i)]);
+    std::memcpy(packed_.row(offsets[static_cast<std::size_t>(i)]).data(),
+                req.input.data(),
+                static_cast<std::size_t>(req.input.size()) * sizeof(float));
+  }
+
+  seg_stats_.assign(static_cast<std::size_t>(n), {});
+  ExecutionPlan transient;
+  ExecutionPlan& plan = cache_.acquire(rows, transient);
+  const MatrixF& out = engine_.run(plan, packed_, offsets, seg_stats_);
+
+  // Unpack into per-request results and counters.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const InferenceRequest& req = *inputs[static_cast<std::size_t>(i)];
+    RequestResult& res = results[static_cast<std::size_t>(i)];
+    res.id = req.id;
+    res.output = MatrixF(req.input.rows(), d_model);
+    std::memcpy(res.output.data(),
+                out.row(offsets[static_cast<std::size_t>(i)]).data(),
+                static_cast<std::size_t>(res.output.size()) * sizeof(float));
+
+    const model::AttentionStats& st = seg_stats_[static_cast<std::size_t>(i)];
+    res.counters.tokens = req.input.rows();
+    res.counters.swat_offchip_traffic = st.swat_offchip_traffic;
+    res.counters.swat_core_loads = st.swat_core_loads;
+    res.counters.heads_run = st.heads_run;
+    res.counters.model_flops =
+        request_model_flops(encoder().config(), req.input.rows());
+  }
+  return results;
+}
+
+}  // namespace swat

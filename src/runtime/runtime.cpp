@@ -1,56 +1,13 @@
 #include "runtime/runtime.hpp"
 
-#include <algorithm>
-#include <cstring>
+#include <utility>
 
-#include "attention/flops.hpp"
+#include "common/contracts.hpp"
 
 namespace swat {
 
-namespace {
-
-/// Analytic model cost of one request (all layers) from the encoder
-/// geometry — a pure function of the request length, so the batched and
-/// sequential paths trivially agree on it.
-double request_model_flops(const model::EncoderConfig& cfg,
-                           std::int64_t seq_len) {
-  attn::LayerShape shape;
-  shape.seq_len = seq_len;
-  shape.d_model = cfg.d_model;
-  shape.num_heads = cfg.num_heads;
-  shape.ffn_mult = cfg.ffn_mult;
-  const bool dense = cfg.backend == model::AttentionBackend::kDenseReference;
-  const attn::LayerCost cost = attn::analyze_layer(
-      shape,
-      dense ? attn::AttentionVariant::kDense : attn::AttentionVariant::kWindow,
-      cfg.swat.window_cores);
-  return cost.total_flops() * static_cast<double>(cfg.layers);
-}
-
-}  // namespace
-
 Runtime::Runtime(model::EncoderConfig cfg, BatchingOptions batching)
-    : engine_(std::move(cfg)), batching_(batching) {
-  batching_.validate();
-}
-
-std::size_t Runtime::plan_arena_floats() const {
-  std::size_t total = 0;
-  for (const auto& [key, plan] : plans_) total += plan.arena_floats();
-  return total;
-}
-
-ExecutionPlan& Runtime::plan_for_rows(std::int64_t rows) {
-  SWAT_EXPECTS(rows >= 1);
-  const std::int64_t width = batching_.bucket_width;
-  const std::int64_t shape_class = (rows + width - 1) / width;
-  const auto it = plans_.find(shape_class);
-  if (it != plans_.end()) return it->second;
-  // Compile once for the class's high-water row count (every batch the
-  // batcher can emit in this class has rows <= shape_class * width).
-  return plans_.emplace(shape_class, engine_.make_plan(shape_class * width))
-      .first->second;
-}
+    : executor_(std::move(cfg), batching) {}
 
 std::vector<RequestResult> Runtime::run(
     std::span<const InferenceRequest> requests) {
@@ -64,57 +21,20 @@ std::vector<RequestResult> Runtime::run(
   }
 
   std::vector<RequestResult> results(requests.size());
-  const std::vector<BatchPlanEntry> plan = plan_batches(lengths, batching_);
+  const std::vector<BatchPlanEntry> plan =
+      plan_batches(lengths, executor_.batching());
 
+  std::vector<const InferenceRequest*> inputs;
   for (std::size_t b = 0; b < plan.size(); ++b) {
     const BatchPlanEntry& batch = plan[b];
-    const std::int64_t rows = batch.rows();
-
-    // Pack: each request's rows are contiguous row-major, so one memcpy per
-    // request moves its whole block into the reused staging matrix.
-    packed_.reshape(rows, d_model);
-    const std::vector<std::int64_t>& offsets = batch.offsets;
-    for (std::int64_t i = 0; i < batch.requests(); ++i) {
-      const InferenceRequest& req =
-          requests[batch.request_indices[static_cast<std::size_t>(i)]];
-      std::memcpy(packed_.row(offsets[static_cast<std::size_t>(i)]).data(),
-                  req.input.data(),
-                  static_cast<std::size_t>(req.input.size()) * sizeof(float));
+    inputs.clear();
+    for (const std::size_t ri : batch.request_indices) {
+      inputs.push_back(&requests[ri]);
     }
-
-    seg_stats_.assign(static_cast<std::size_t>(batch.requests()), {});
-    // Batches within the token cap go through the cached per-class plans
-    // (a bounded set: at most ceil(max_batch_tokens / bucket_width)
-    // classes). An oversized singleton — a request longer than
-    // max_batch_tokens always forms its own batch — gets a throwaway plan
-    // instead, so one huge one-off document cannot pin a proportionally
-    // huge arena in the cache for the Runtime's lifetime.
-    ExecutionPlan transient;
-    ExecutionPlan& plan = rows > batching_.max_batch_tokens
-                              ? (transient = engine_.make_plan(rows))
-                              : plan_for_rows(rows);
-    const MatrixF& out = engine_.run(plan, packed_, offsets, seg_stats_);
-
-    // Unpack into per-request results and counters.
-    for (std::int64_t i = 0; i < batch.requests(); ++i) {
-      const std::size_t ri = batch.request_indices[static_cast<std::size_t>(i)];
-      const InferenceRequest& req = requests[ri];
-      RequestResult& res = results[ri];
-      res.id = req.id;
-      res.output = MatrixF(req.input.rows(), d_model);
-      std::memcpy(res.output.data(),
-                  out.row(offsets[static_cast<std::size_t>(i)]).data(),
-                  static_cast<std::size_t>(res.output.size()) * sizeof(float));
-
-      const model::AttentionStats& st =
-          seg_stats_[static_cast<std::size_t>(i)];
-      res.counters.tokens = req.input.rows();
-      res.counters.batch_index = static_cast<std::int64_t>(b);
-      res.counters.swat_offchip_traffic = st.swat_offchip_traffic;
-      res.counters.swat_core_loads = st.swat_core_loads;
-      res.counters.heads_run = st.heads_run;
-      res.counters.model_flops =
-          request_model_flops(encoder().config(), req.input.rows());
+    std::vector<RequestResult> served = executor_.execute(batch, inputs);
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      served[i].counters.batch_index = static_cast<std::int64_t>(b);
+      results[batch.request_indices[i]] = std::move(served[i]);
     }
     ++totals_.batches;
   }
@@ -124,12 +44,7 @@ std::vector<RequestResult> Runtime::run(
   // field-wise sum of every RequestCounters" identity is exact even for
   // the non-associative double (model_flops), not merely within a ULP.
   for (const RequestResult& res : results) {
-    ++totals_.requests;
-    totals_.tokens += res.counters.tokens;
-    totals_.swat_offchip_traffic += res.counters.swat_offchip_traffic;
-    totals_.swat_core_loads += res.counters.swat_core_loads;
-    totals_.heads_run += res.counters.heads_run;
-    totals_.model_flops += res.counters.model_flops;
+    totals_.accumulate(res.counters);
   }
   return results;
 }

@@ -1,22 +1,23 @@
-// swat::Runtime — batched multi-request inference driver.
+// swat::Runtime — the synchronous batched inference driver.
 //
 // The entry points elsewhere in this repository process one sequence at a
-// time; this subsystem is the serving layer that turns the batched encoder
-// path into a multi-user workload driver:
+// time; this is the call-at-a-time serving layer over the shared core in
+// runtime/executor.hpp: a caller hands over a full request list, blocks,
+// and gets all results back at once. (The asynchronous, continuously
+// batching front-end over the same core is runtime/server.hpp.)
 //
-//   1. N variable-length encoder requests are length-bucketed
-//      (runtime/batcher.hpp) so the attention tasks of one batch have
-//      comparable cost;
-//   2. each bucket is packed into a single ragged batch matrix (no padding
-//      — offsets mark the sequence boundaries);
-//   3. batches run through the compiled execution plan (runtime/engine.hpp):
-//      the runtime lazily compiles one ExecutionPlan per bucket *shape
-//      class* (ceil(rows / bucket_width)) and reuses it across run() calls,
-//      so the encoder stack executes entirely inside persistent arenas —
-//      position-independent layers as single GEMMs over all packed rows,
-//      attention fanned out over (sequence, head) tasks, no per-layer
-//      matrix ever allocated;
-//   4. outputs are unpacked and returned in submission order, each with its
+//   1. N variable-length encoder requests are length-bucketed and cut into
+//      batches by the same BatchFormer rules the async server uses
+//      (runtime/batcher.hpp) — here fed offline via plan_batches, a pure
+//      function of the length vector;
+//   2. each batch is packed into a single ragged batch matrix (no padding
+//      — offsets mark the sequence boundaries) and executed by the shared
+//      BatchExecutor through the mutex-guarded per-bucket-shape-class
+//      ExecutionPlan cache (runtime/engine.hpp): the encoder stack runs
+//      entirely inside persistent arenas — position-independent layers as
+//      single GEMMs over all packed rows, attention fanned out over
+//      (sequence, head) tasks, no per-layer matrix ever allocated;
+//   3. outputs are unpacked and returned in submission order, each with its
 //      own separable counters.
 //
 // Guarantees (asserted by tests/test_runtime.cpp):
@@ -37,55 +38,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
 #include "runtime/batcher.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/executor.hpp"
 
 namespace swat {
-
-/// Per-request accounting, separable from the batch it was served in.
-struct RequestCounters {
-  std::int64_t tokens = 0;
-  /// Index of the packed batch (within the run() call) that served this
-  /// request — introspection for tests and the serving example.
-  std::int64_t batch_index = -1;
-
-  // Attention counters measured by the model (SWAT backend only for the
-  // traffic/load fields), summed over layers.
-  Bytes swat_offchip_traffic;
-  std::int64_t swat_core_loads = 0;
-  std::int64_t heads_run = 0;
-
-  /// Analytic per-request model cost (linear + attention + FFN FLOPs for
-  /// this request's length; attention/flops.hpp), so throughput benches can
-  /// report FLOP/s without touching measured counters.
-  double model_flops = 0.0;
-};
-
-struct InferenceRequest {
-  std::uint64_t id = 0;
-  MatrixF input;  ///< seq_len x d_model token embeddings, seq_len >= 1
-};
-
-struct RequestResult {
-  std::uint64_t id = 0;
-  MatrixF output;  ///< seq_len x d_model encoder output
-  RequestCounters counters;
-};
-
-/// Cumulative totals over everything a Runtime has served.
-struct RuntimeTotals {
-  std::int64_t requests = 0;
-  std::int64_t tokens = 0;
-  std::int64_t batches = 0;
-  Bytes swat_offchip_traffic;
-  std::int64_t swat_core_loads = 0;
-  std::int64_t heads_run = 0;
-  double model_flops = 0.0;
-};
 
 class Runtime {
  public:
@@ -100,44 +59,25 @@ class Runtime {
   /// bit-identical to encoder().forward(request.input).
   RequestResult run_one(const InferenceRequest& request);
 
-  const model::Encoder& encoder() const { return engine_.encoder(); }
-  const Engine& engine() const { return engine_; }
-  const BatchingOptions& batching() const { return batching_; }
+  const model::Encoder& encoder() const { return executor_.encoder(); }
+  const Engine& engine() const { return executor_.engine(); }
+  const BatchingOptions& batching() const { return executor_.batching(); }
 
   /// Cumulative totals across all run()/run_one() calls. Always equals the
   /// field-wise sum of every RequestCounters this runtime has returned.
   const RuntimeTotals& totals() const { return totals_; }
 
-  /// Compiled plans currently cached (one per bucket shape class served so
-  /// far) and their total bound arena footprint — stable across repeated
+  /// Plan-cache introspection (see PlanCache) — stable across repeated
   /// identical workloads, which tests/test_runtime.cpp asserts to prove
   /// plans are reused rather than recompiled.
-  std::size_t plan_count() const { return plans_.size(); }
-  std::size_t plan_arena_floats() const;
+  std::size_t plan_count() const { return executor_.plan_count(); }
+  std::size_t plan_arena_floats() const {
+    return executor_.plan_arena_floats();
+  }
 
  private:
-  /// The plan serving a packed batch of `rows` rows: plans are keyed by
-  /// the batch's shape class ceil(rows / bucket_width) and compiled for
-  /// that class's high-water row count, so every batch the batcher can
-  /// emit in the class fits, and repeated traffic reuses the arena.
-  /// One max-class plan could serve every smaller batch too (reshape
-  /// retains capacity), but per-class plans keep each arena right-sized to
-  /// its traffic and are independent — the prerequisite for running
-  /// different-shape batches concurrently when async batching lands. The
-  /// cache is bounded: batches beyond max_batch_tokens (oversized
-  /// singletons) run through a throwaway plan and are never cached.
-  ExecutionPlan& plan_for_rows(std::int64_t rows);
-
-  Engine engine_;
-  BatchingOptions batching_;
+  BatchExecutor executor_;
   RuntimeTotals totals_;
-  std::map<std::int64_t, ExecutionPlan> plans_;  ///< shape class -> plan
-
-  // Per-batch staging reused across run() calls; reshape() retains the
-  // backing capacity, so serving stops allocating staging once the
-  // high-water batch shape has been seen.
-  MatrixF packed_;
-  std::vector<model::AttentionStats> seg_stats_;
 };
 
 }  // namespace swat

@@ -1,0 +1,208 @@
+#include "runtime/server.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace swat {
+
+void ServerOptions::validate() const {
+  batching.validate();
+  if (queue_capacity < 1) {
+    throw std::invalid_argument(
+        "ServerOptions: queue_capacity must be >= 1, got " +
+        std::to_string(queue_capacity) +
+        " — the admission queue must be able to hold at least one request");
+  }
+  if (max_batch_wait.value < 0.0) {
+    throw std::invalid_argument(
+        "ServerOptions: max_batch_wait must be >= 0 seconds (0 disables "
+        "the age cut), got " +
+        std::to_string(max_batch_wait.value));
+  }
+}
+
+Server::Server(model::EncoderConfig cfg, ServerOptions opt)
+    : opt_((opt.validate(), opt)),
+      executor_(cfg, opt.batching),
+      cost_model_(opt.batching.max_batch_latency.value > 0.0
+                      ? std::make_unique<BatchCostModel>(cfg)
+                      : nullptr),
+      queue_(opt.queue_capacity, opt.admission) {
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+Server::Ticket Server::submit(InferenceRequest request) {
+  std::promise<RequestResult> promise;
+  Ticket ticket = promise.get_future();
+
+  // Malformed inputs fail their own ticket instead of poisoning the
+  // scheduler thread rows deep into a forward pass.
+  const std::int64_t d_model = encoder().config().d_model;
+  if (request.input.rows() < 1 || request.input.cols() != d_model) {
+    promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+        "Server::submit: input must be seq_len x d_model with seq_len >= 1 "
+        "(got " +
+        std::to_string(request.input.rows()) + " x " +
+        std::to_string(request.input.cols()) + ", d_model " +
+        std::to_string(d_model) + ")")));
+    return ticket;
+  }
+
+  Pending pending{std::move(request), std::move(promise),
+                  std::chrono::steady_clock::now()};
+  // Count the admission BEFORE the push: the scheduler may serve the
+  // request (bumping completed_) before we regain the lock, and drain()
+  // must never observe completed_ > admitted_.
+  {
+    std::lock_guard lock(state_mutex_);
+    ++admitted_;
+  }
+  if (!queue_.push(pending)) {
+    // Rejected (queue full under kReject, or the server is shut down).
+    // push() moves from `pending` only on success, so the promise is ours.
+    {
+      std::lock_guard lock(state_mutex_);
+      --admitted_;
+    }
+    drained_cv_.notify_all();
+    pending.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        queue_.closed()
+            ? "Server::submit: server is shut down"
+            : "Server::submit: admission queue full (capacity " +
+                  std::to_string(opt_.queue_capacity) +
+                  ", policy kReject) — request shed")));
+  }
+  return ticket;
+}
+
+std::vector<Server::Ticket> Server::submit_many(
+    std::vector<InferenceRequest> requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (InferenceRequest& req : requests) {
+    tickets.push_back(submit(std::move(req)));
+  }
+  return tickets;
+}
+
+void Server::drain() {
+  std::unique_lock lock(state_mutex_);
+  drained_cv_.wait(lock, [&] { return completed_ == admitted_; });
+}
+
+void Server::shutdown() {
+  std::lock_guard lock(shutdown_mutex_);
+  queue_.close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+RuntimeTotals Server::totals() const {
+  std::lock_guard lock(state_mutex_);
+  return totals_;
+}
+
+void Server::scheduler_loop() {
+  BatchFormer former(opt_.batching, cost_model_.get());
+  std::map<std::size_t, Pending> inflight;
+  std::size_t next_index = 0;
+
+  const auto run_ready = [&] {
+    while (former.has_ready()) run_batch(former.pop_ready(), inflight);
+  };
+
+  for (;;) {
+    std::optional<Pending> pending;
+    if (former.pending_requests() == 0) {
+      pending = queue_.pop();  // idle: park until work arrives or close
+      if (!pending) break;     // closed and fully drained
+    } else {
+      pending = queue_.try_pop();
+    }
+    if (pending) {
+      const std::int64_t length = pending->request.input.rows();
+      const std::size_t index = next_index++;
+      inflight.emplace(index, std::move(*pending));
+      former.push(index, length);
+      // Age cut: under sustained load the queue never goes empty, so the
+      // flush below never fires — without a wait bound, a request in a
+      // sparse length class could pend forever for bucket-mates that never
+      // come. inflight is ordered by admission index, so begin() is the
+      // oldest request still waiting (pending or in a just-cut batch —
+      // a spurious flush of the latter is harmless).
+      if (opt_.max_batch_wait.value > 0.0 && former.pending_requests() > 0 &&
+          !inflight.empty()) {
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          inflight.begin()->second.admitted)
+                .count();
+        if (waited >= opt_.max_batch_wait.value) former.flush();
+      }
+    } else {
+      // The arrival queue went momentarily empty while batches are open:
+      // stop waiting and cut now. Work conservation — a scheduler that
+      // idles on a partial batch only adds queue latency, never width.
+      former.flush();
+    }
+    run_ready();
+  }
+  // close() raced a final flush at most: cut and serve whatever remains so
+  // every admitted ticket resolves.
+  former.flush();
+  run_ready();
+  SWAT_ENSURES(inflight.empty());
+}
+
+void Server::run_batch(BatchPlanEntry entry,
+                       std::map<std::size_t, Pending>& inflight) {
+  const std::size_t n = entry.request_indices.size();
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<Pending> members;
+  std::vector<const InferenceRequest*> inputs;
+  members.reserve(n);
+  inputs.reserve(n);
+  for (const std::size_t index : entry.request_indices) {
+    const auto it = inflight.find(index);
+    SWAT_ENSURES(it != inflight.end());
+    members.push_back(std::move(it->second));
+    inflight.erase(it);
+  }
+  for (const Pending& member : members) inputs.push_back(&member.request);
+
+  try {
+    std::vector<RequestResult> results = executor_.execute(entry, inputs);
+    std::int64_t batch_index = 0;
+    {
+      std::lock_guard lock(state_mutex_);
+      batch_index = totals_.batches++;
+      for (const RequestResult& res : results) {
+        totals_.accumulate(res.counters);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i].counters.batch_index = batch_index;
+      results[i].counters.queue_delay =
+          Seconds{std::chrono::duration<double>(start - members[i].admitted)
+                      .count()};
+      members[i].promise.set_value(std::move(results[i]));
+    }
+  } catch (...) {
+    // A failed batch fails every member ticket — completed-or-rejected,
+    // never hung.
+    for (Pending& member : members) {
+      member.promise.set_exception(std::current_exception());
+    }
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    completed_ += n;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace swat

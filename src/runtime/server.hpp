@@ -1,0 +1,155 @@
+// swat::Server — the asynchronous continuous-batching serving front-end.
+//
+// Real serving traffic does not arrive as one request list: requests show
+// up one at a time, concurrently, and each caller wants its own answer as
+// soon as possible. Server is the admission side of that workload:
+//
+//   submit(request) ──▶ bounded ConcurrentQueue ──▶ scheduler thread
+//                                                     │ BatchFormer
+//                                                     │   (caps + latency
+//                                                     │    budget cuts)
+//                                                     ▼
+//                                            BatchExecutor::execute
+//                                                     │
+//   Ticket (std::future) ◀── promise fulfilled ◀──────┘
+//
+// submit() is thread-safe and returns a per-request Ticket (a
+// std::future<RequestResult>) immediately; a background scheduler thread
+// pops admitted requests, feeds them to an incremental BatchFormer, and
+// cuts a batch when max_batch_requests / max_batch_tokens is hit or when
+// the batch's predicted service time (BatchCostModel over the paper's
+// stage-latency pipeline model) reaches the max_batch_latency budget — the
+// hardware model decides when to stop waiting for more arrivals. When the
+// arrival queue goes momentarily empty, pending partial batches are cut
+// immediately (work conservation: waiting longer would only add latency).
+//
+// Backpressure: the admission queue is bounded (queue_capacity). At the
+// bound, OverflowPolicy::kBlock parks the submitter until the scheduler
+// frees a slot; kReject fails the ticket immediately with
+// std::runtime_error — load shedding for callers that prefer an error over
+// waiting.
+//
+// Determinism contract: WHICH batch a request lands in depends on arrival
+// timing (that is the point of continuous batching); WHAT the request's
+// output and counters are does not. The shared BatchExecutor guarantees
+// every member of every formed batch is bit-identical to a solo
+// Encoder::forward run, for any SWAT_THREADS, arrival order, and batch cut
+// (tests/test_server.cpp). Timing-dependent fields (batch_index,
+// queue_delay) are explicitly excluded from that guarantee.
+//
+// Shutdown: shutdown() (and the destructor) closes admission, lets the
+// scheduler finish everything already admitted, and joins the thread —
+// every ticket is always completed or rejected, never leaked or hung.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/executor.hpp"
+
+namespace swat {
+
+struct ServerOptions {
+  BatchingOptions batching;
+  /// Bound on requests admitted but not yet claimed by the scheduler.
+  std::size_t queue_capacity = 1024;
+  /// What submit() does when the admission queue is full: park the caller
+  /// (kBlock, backpressure) or fail the ticket (kReject, load shedding).
+  OverflowPolicy admission = OverflowPolicy::kBlock;
+  /// Longest an admitted request may sit in a pending partial batch while
+  /// the arrival queue stays busy. The queue-empty flush already bounds the
+  /// wait in light traffic; under sustained load the queue never empties,
+  /// and without this cap a request in a sparse length class could wait
+  /// unboundedly for bucket-mates that never come. Zero disables.
+  Seconds max_batch_wait{0.010};
+
+  /// Rejects inconsistent options with actionable messages
+  /// (std::invalid_argument).
+  void validate() const;
+};
+
+class Server {
+ public:
+  /// A per-request claim ticket: resolves to the request's result, or
+  /// rethrows the rejection/failure that prevented serving it.
+  using Ticket = std::future<RequestResult>;
+
+  /// Validates `cfg` (via the engine) and `opt`, compiles the weights, and
+  /// starts the scheduler thread.
+  explicit Server(model::EncoderConfig cfg, ServerOptions opt = {});
+  ~Server();  // shutdown()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one request. Thread-safe. The ticket always resolves: with the
+  /// result once its batch ran, or with an exception if the request was
+  /// malformed, the queue rejected it (kReject at capacity), or the server
+  /// was already shut down.
+  Ticket submit(InferenceRequest request);
+
+  /// Admit a burst. Equivalent to submit() in order; with kReject
+  /// admission, later tickets may be rejected while earlier ones serve.
+  std::vector<Ticket> submit_many(std::vector<InferenceRequest> requests);
+
+  /// Block until every request admitted so far has been served (its ticket
+  /// resolved). New submissions during drain() extend the wait.
+  void drain();
+
+  /// Stop admission, serve everything already admitted, join the
+  /// scheduler. Idempotent and thread-safe. After shutdown, submit()
+  /// returns rejected tickets.
+  void shutdown();
+
+  /// Snapshot of the cumulative totals over everything served so far.
+  /// Unlike the synchronous Runtime, batches complete in scheduler order,
+  /// so model_flops (a non-associative double sum) may differ from a
+  /// caller's own summation order by rounding; all integer fields are
+  /// exact.
+  RuntimeTotals totals() const;
+
+  std::size_t plan_count() const { return executor_.plan_count(); }
+  std::size_t plan_arena_floats() const {
+    return executor_.plan_arena_floats();
+  }
+  const model::Encoder& encoder() const { return executor_.encoder(); }
+  const ServerOptions& options() const { return opt_; }
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    std::promise<RequestResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void scheduler_loop();
+  // `inflight` is ordered by admission index so its begin() is the oldest
+  // pending request — what the max_batch_wait age cut is measured against.
+  void run_batch(BatchPlanEntry entry,
+                 std::map<std::size_t, Pending>& inflight);
+
+  ServerOptions opt_;
+  BatchExecutor executor_;
+  /// Prices requests for the latency budget; null when the budget is off.
+  std::unique_ptr<BatchCostModel> cost_model_;
+  ConcurrentQueue<Pending> queue_;
+
+  mutable std::mutex state_mutex_;  ///< guards totals_/admitted_/completed_
+  std::condition_variable drained_cv_;
+  RuntimeTotals totals_;
+  std::size_t admitted_ = 0;
+  std::size_t completed_ = 0;
+
+  std::mutex shutdown_mutex_;  ///< serializes shutdown()/~Server
+  std::thread scheduler_;
+};
+
+}  // namespace swat

@@ -2,17 +2,25 @@
 // scalar kernels. Emits BENCH_kernels.json (GFLOP/s + speedups) for CI
 // tracking and the README table.
 //
-// Measured pairs (naive = the seed implementation, frozen below / kept in
-// kernels.cpp as the reference oracle):
+// Measured pairs (baseline vs the kernel under test; each row's "baseline"
+// field names what the speedup is against):
 //   * GEMM           C = A * B        (matmul_naive   vs matmul)
 //   * GEMM-NT        C = A * B^T      (matmul_nt_naive vs matmul_nt)
 //   * sliding-chunks forward           (seed per-element dot() phase 1 vs
 //                                       the blocked tile-GEMM path)
+//   * gemm_packed    proj + FFN shapes (the blocked bias GEMM the Linear
+//                                       layer used to run per batch vs the
+//                                       pre-packed panel microkernel)
+//   * fused-attention                  (the per-head slice/band/scatter
+//                                       serving path vs the fused streaming
+//                                       batch kernel)
 //
 // Usage: kernels_microbench [--smoke] [--out <path>]
 //   --smoke   small shapes / fewer reps (CI)
 //   default   acceptance shapes: 512^3 GEMM, sliding chunks n=4096 w=128
-//             h=64; each timed single-thread and with the pool enabled.
+//             h=64, packed GEMM on the Longformer-base projection/FFN
+//             shapes, fused attention at n=2048 w=256; each timed
+//             single-thread and with the pool enabled.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "attention/fused.hpp"
 #include "attention/reference.hpp"
 #include "attention/sliding_chunks.hpp"
 #include "attention/window.hpp"
@@ -114,11 +123,12 @@ MatrixF seed_sliding_chunks(const swat::attn::HeadInput& in, std::int64_t w) {
 
 struct BenchRow {
   std::string name;
+  std::string baseline = "naive_seed";  // what speedup_* is measured against
   double flops = 0;       // per invocation
-  double naive_s = 0;     // seed kernel
+  double naive_s = 0;     // baseline implementation
   double blocked_1t_s = 0;
   double blocked_mt_s = 0;
-  float max_abs_diff = 0;  // blocked vs oracle
+  float max_abs_diff = 0;  // kernel vs oracle
 
   double gflops(double s) const { return flops / s / 1e9; }
 };
@@ -134,9 +144,10 @@ bool emit_json(const std::vector<BenchRow>& rows, const std::string& path,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\", "
-        << "\"gflops_naive\": " << r.gflops(r.naive_s) << ", "
-        << "\"gflops_blocked_1t\": " << r.gflops(r.blocked_1t_s) << ", "
-        << "\"gflops_blocked_mt\": " << r.gflops(r.blocked_mt_s) << ", "
+        << "\"baseline\": \"" << r.baseline << "\", "
+        << "\"gflops_baseline\": " << r.gflops(r.naive_s) << ", "
+        << "\"gflops_kernel_1t\": " << r.gflops(r.blocked_1t_s) << ", "
+        << "\"gflops_kernel_mt\": " << r.gflops(r.blocked_mt_s) << ", "
         << "\"speedup_1t\": " << r.naive_s / r.blocked_1t_s << ", "
         << "\"speedup_mt\": " << r.naive_s / r.blocked_mt_s << ", "
         << "\"max_abs_diff\": " << r.max_abs_diff << "}"
@@ -233,9 +244,131 @@ int main(int argc, char** argv) {
     rows.push_back(r);
   }
 
+  // ---- packed-weight GEMM on the encoder's serving shapes ---------------
+  // Baseline is the blocked bias GEMM the Linear layer ran per batch until
+  // this PR (weights pre-transposed outside the timed region, exactly like
+  // the old cached-W^T path); the kernel under test streams the pre-packed
+  // panels. Both are timed on Longformer-base's projection (768 -> 768) and
+  // FFN-expand (768 -> 3072) shapes.
+  {
+    struct PackedShape {
+      const char* tag;
+      std::int64_t m, k, n;
+    };
+    const std::int64_t pm = smoke ? 128 : 512;
+    const PackedShape shapes[] = {
+        {"proj", pm, smoke ? 256 : 768, smoke ? 256 : 768},
+        {"ffn", pm, smoke ? 256 : 768, smoke ? 512 : 3072},
+    };
+    for (const PackedShape& sh : shapes) {
+      swat::MatrixF a = swat::random_normal(sh.m, sh.k, rng);
+      swat::MatrixF w = swat::random_normal(sh.n, sh.k, rng);
+      std::vector<float> bias(static_cast<std::size_t>(sh.n));
+      for (float& b : bias) b = static_cast<float>(rng.uniform(-1.0, 1.0));
+      BenchRow r;
+      r.name = std::string("gemm_packed_") + sh.tag + "_" +
+               std::to_string(sh.m) + "x" + std::to_string(sh.k) + "x" +
+               std::to_string(sh.n);
+      r.baseline = "blocked_bias_gemm";
+      r.flops = 2.0 * sh.m * sh.k * sh.n;
+      const swat::MatrixF wt = swat::transpose(w);  // the old cached W^T
+      swat::PackedWeight packed;
+      swat::pack_weight_nt(w, packed);  // packed once, as Engine::compile does
+      swat::MatrixF c_base(sh.m, sh.n), c_packed(sh.m, sh.n);
+      // Baseline timed single-threaded like every other arm's baseline,
+      // so speedup_1t compares one thread against one thread.
+      swat::set_num_threads(1);
+      r.naive_s = best_time(reps, [&] {
+        swat::detail::gemm(a.data(), sh.k, wt.data(), sh.n, c_base.data(),
+                           sh.n, sh.m, sh.n, sh.k, bias.data(),
+                           /*parallel=*/true);
+      });
+      r.blocked_1t_s = best_time(reps, [&] {
+        swat::gemm_packed_into(a, packed, bias, c_packed);
+      });
+      swat::set_num_threads(pool_threads);
+      r.blocked_mt_s = best_time(reps, [&] {
+        swat::gemm_packed_into(a, packed, bias, c_packed);
+      });
+      r.max_abs_diff = swat::max_abs_diff(c_packed, c_base);
+      rows.push_back(r);
+    }
+  }
+
+  // ---- fused streaming attention (the serving kernel) -------------------
+  // Baseline replicates the per-(sequence, head) serving path this PR
+  // replaced: slice the head's Q/K/V (folding in the logit scale), run the
+  // banded stable-softmax attention into a staging matrix, scatter back
+  // into the packed concat buffer. The fused kernel streams Eq. 1 in place.
+  {
+    const std::int64_t fa_n = smoke ? 512 : 2048;
+    const std::int64_t fa_heads = 12;
+    const std::int64_t fa_h = 64;
+    const std::int64_t fa_d = fa_heads * fa_h;
+    const std::int64_t before = smoke ? 64 : 256;
+    const std::int64_t after = before - 1;  // SWAT's 2w-core band
+    const float scale = 1.0f / std::sqrt(static_cast<float>(fa_h));
+    const swat::MatrixF q = swat::random_normal(fa_n, fa_d, rng, 0.3);
+    const swat::MatrixF k = swat::random_normal(fa_n, fa_d, rng, 0.3);
+    const swat::MatrixF v = swat::random_normal(fa_n, fa_d, rng);
+    const std::int64_t offsets[2] = {0, fa_n};
+
+    BenchRow r;
+    r.name = "fused_attention_n" + std::to_string(fa_n) + "_w" +
+             std::to_string(before) + "_h" + std::to_string(fa_h);
+    r.baseline = "band_slice_scatter";
+    // QK + SV multiply-accumulates over the clipped band, all heads.
+    double band_rows = 0;
+    for (std::int64_t i = 0; i < fa_n; ++i) {
+      band_rows += static_cast<double>(
+          std::min<std::int64_t>(fa_n - 1, i + after) -
+          std::max<std::int64_t>(0, i - before) + 1);
+    }
+    r.flops = 2.0 * 2.0 * fa_heads * band_rows * fa_h;
+
+    swat::MatrixF concat_base(fa_n, fa_d), concat_fused(fa_n, fa_d);
+    const auto baseline = [&] {
+      swat::attn::HeadInput in;
+      swat::MatrixF z;
+      for (std::int64_t head = 0; head < fa_heads; ++head) {
+        const std::int64_t base = head * fa_h;
+        in.q.reshape(fa_n, fa_h);
+        in.k.reshape(fa_n, fa_h);
+        in.v.reshape(fa_n, fa_h);
+        for (std::int64_t i = 0; i < fa_n; ++i) {
+          for (std::int64_t d = 0; d < fa_h; ++d) {
+            in.q(i, d) = q(i, base + d) * scale;
+            in.k(i, d) = k(i, base + d);
+            in.v(i, d) = v(i, base + d);
+          }
+        }
+        swat::attn::band_attention_into(in, before, after, z);
+        for (std::int64_t i = 0; i < fa_n; ++i) {
+          for (std::int64_t d = 0; d < fa_h; ++d) {
+            concat_base(i, base + d) = z(i, d);
+          }
+        }
+      }
+    };
+    const auto fused = [&] {
+      swat::attn::fused_window_attention_batch_into(
+          q, k, v, offsets, fa_heads, before, after, scale, concat_fused);
+    };
+    r.naive_s = best_time(reps, baseline);
+    swat::set_num_threads(1);
+    r.blocked_1t_s = best_time(reps, fused);
+    swat::set_num_threads(pool_threads);
+    r.blocked_mt_s = best_time(reps, fused);
+    // Eq. 1 defers the division and skips the max subtraction, so the
+    // fused kernel is numerically close to, not bitwise equal to, the
+    // stable-softmax baseline.
+    r.max_abs_diff = swat::max_abs_diff(concat_fused, concat_base);
+    rows.push_back(r);
+  }
+
   const bool json_ok = emit_json(rows, out_path, pool_threads);
 
-  std::cout << "kernel                          naive    blocked(1t) blocked("
+  std::cout << "kernel                          baseline kernel(1t) kernel("
             << pool_threads << "t)  speedup(1t)\n";
   for (const BenchRow& r : rows) {
     std::printf("%-30s %7.2f %10.2f %11.2f %9.2fx   (max|diff| %.2e)\n",

@@ -118,7 +118,9 @@ int main(int argc, char** argv) {
   cfg.num_heads = smoke ? 2 : 4;
   cfg.ffn_mult = 4;
   cfg.layers = smoke ? 2 : 4;
-  cfg.backend = swat::model::AttentionBackend::kWindowExact;
+  // The fused streaming serving kernel (Eq. 1 in place over the packed
+  // projections) — the backend the serving engine runs in production.
+  cfg.backend = swat::model::AttentionBackend::kFusedStreaming;
   cfg.swat = swat::SwatConfig();
   cfg.swat.head_dim = 64;
   cfg.swat.window_cores = 64;

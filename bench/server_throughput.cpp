@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   cfg.num_heads = smoke ? 2 : 4;
   cfg.ffn_mult = 4;
   cfg.layers = smoke ? 2 : 4;
-  cfg.backend = swat::model::AttentionBackend::kWindowExact;
+  cfg.backend = swat::model::AttentionBackend::kFusedStreaming;
   cfg.swat = swat::SwatConfig();
   cfg.swat.head_dim = 64;
   cfg.swat.window_cores = 64;

@@ -40,7 +40,7 @@ int main() {
   cfg.num_heads = 2;
   cfg.ffn_mult = 2;
   cfg.layers = 2;
-  cfg.backend = AttentionBackend::kWindowExact;
+  cfg.backend = AttentionBackend::kFusedStreaming;
   cfg.swat = swat::SwatConfig();
   cfg.swat.head_dim = 32;
   cfg.swat.window_cores = 32;

@@ -25,7 +25,10 @@ import json
 import sys
 from pathlib import Path
 
-HEADLINE_MARKERS = ("_per_s", "speedup", "_ms", "_rps", "_tps")
+# gflops covers the kernel microbench's per-arm throughput columns
+# (gflops_naive / gflops_blocked_*), so the packed-GEMM and fused-attention
+# arms land in the headline table alongside their speedups.
+HEADLINE_MARKERS = ("_per_s", "speedup", "_ms", "_rps", "_tps", "gflops")
 
 
 def is_number(value):

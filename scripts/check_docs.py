@@ -10,6 +10,11 @@
    top-level type and every public method of Server) must be mentioned in
    docs/ARCHITECTURE.md — doc drift on the new subsystem fails CI like a
    missing subsystem does.
+4. The public API of the kernel layer (src/tensor/kernels.hpp: every
+   top-level type and every free function declared at namespace scope,
+   excluding namespace detail) must be mentioned in docs/ARCHITECTURE.md —
+   the packed-GEMM/fusion surface is the serving hot path and its docs may
+   not go stale either.
 
 Exits non-zero with one line per violation.
 """
@@ -93,6 +98,57 @@ def server_public_api(header):
     return sorted(names)
 
 
+# A free-function declaration at column 0: return type then name(. Multi-line
+# parameter lists are fine — the name and '(' sit on the first line.
+FREE_FUNC_RE = re.compile(r"^(?:[\w:<>,&*\s]+?[\s&*])(\w+)\(")
+
+
+def kernels_public_api(header):
+    """Top-level type names + namespace-scope free functions of kernels.hpp.
+
+    Tracks brace depth so class members and the contents of namespace
+    detail (implementation surface, not public API) are excluded. The
+    header's own style — declarations start at column 0, type names on the
+    same line as the '(' — is what makes this regex approach sound.
+    """
+    text = header.read_text(encoding="utf-8")
+    names = set(TYPE_RE.findall(text))
+
+    depth = 0           # brace depth, 0 = file scope
+    detail_depth = None  # depth at which `namespace detail {` opened
+    for line in text.splitlines():
+        stripped = line.split("//", 1)[0]
+        opens_detail = re.match(r"^namespace\s+detail\b", stripped)
+        at_namespace_scope = (
+            depth <= 1 and detail_depth is None and not opens_detail)
+        if at_namespace_scope and not line.startswith((" ", "\t", "}", "#")):
+            m = FREE_FUNC_RE.match(stripped)
+            if m and m.group(1) not in CPP_KEYWORDS:
+                names.add(m.group(1))
+        if opens_detail:
+            detail_depth = depth
+        depth += stripped.count("{") - stripped.count("}")
+        if detail_depth is not None and depth <= detail_depth:
+            detail_depth = None
+    return sorted(names)
+
+
+def check_kernels_api_mentions(errors):
+    header = REPO / "src" / "tensor" / "kernels.hpp"
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not header.exists():
+        errors.append("src/tensor/kernels.hpp is missing")
+        return
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+    for name in kernels_public_api(header):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(
+                "docs/ARCHITECTURE.md: kernels.hpp public API "
+                f"`{name}` is not documented")
+
+
 def check_server_api_mentions(errors):
     header = REPO / "src" / "runtime" / "server.hpp"
     arch = REPO / "docs" / "ARCHITECTURE.md"
@@ -116,12 +172,13 @@ def main():
     check_links(errors)
     check_architecture_mentions(errors)
     check_server_api_mentions(errors)
+    check_kernels_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
               "all links resolve, architecture map covers src/, "
-              "server API documented")
+              "server and kernel APIs documented")
     return 1 if errors else 0
 
 

@@ -5,9 +5,158 @@
 #include <limits>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace swat::attn {
+
+namespace {
+
+// Defined below; the serial worker the batch entry point fans out.
+SWAT_NO_FP_CONTRACT
+void fused_window_tasks(ConstMatrixView q, ConstMatrixView k,
+                        ConstMatrixView v,
+                        std::span<const std::int64_t> offsets,
+                        std::int64_t num_heads, std::int64_t window_before,
+                        std::int64_t window_after, float scale, MatrixView out,
+                        std::int64_t t0, std::int64_t t1);
+
+}  // namespace
+
+void fused_window_attention_batch_into(ConstMatrixView q, ConstMatrixView k,
+                                       ConstMatrixView v,
+                                       std::span<const std::int64_t> offsets,
+                                       std::int64_t num_heads,
+                                       std::int64_t window_before,
+                                       std::int64_t window_after, float scale,
+                                       MatrixView out) {
+  SWAT_EXPECTS(num_heads >= 1);
+  SWAT_EXPECTS(window_before >= 0 && window_after >= 0);
+  const std::int64_t rows = q.rows();
+  const std::int64_t d_model = q.cols();
+  SWAT_EXPECTS(d_model % num_heads == 0);
+  SWAT_EXPECTS(k.rows() == rows && k.cols() == d_model);
+  SWAT_EXPECTS(v.rows() == rows && v.cols() == d_model);
+  SWAT_EXPECTS(out.rows() == rows && out.cols() == d_model);
+  SWAT_EXPECTS(offsets.size() >= 2);
+  SWAT_EXPECTS(offsets.front() == 0 && offsets.back() == rows);
+  const std::int64_t nseq = static_cast<std::int64_t>(offsets.size()) - 1;
+  for (std::int64_t s = 0; s < nseq; ++s) {
+    SWAT_EXPECTS(offsets[static_cast<std::size_t>(s)] <
+                 offsets[static_cast<std::size_t>(s + 1)]);
+  }
+
+  // (sequence, head) tasks fan out over the pool; rows within a task run
+  // serially in index order, so every output element's reduction order is
+  // fixed regardless of the partition.
+  parallel_for(0, nseq * num_heads, 1, [&](std::int64_t t0, std::int64_t t1) {
+    fused_window_tasks(q, k, v, offsets, num_heads, window_before,
+                       window_after, scale, out, t0, t1);
+  });
+}
+
+namespace {
+
+// Query rows are processed in tiles: for each tile the K head slice its
+// band can touch (tile rows + window reach, independent of the sequence
+// length) is transposed once into per-thread scratch, so the score stage
+// streams K^T unit-stride and vectorizes across score columns while each
+// score element keeps dot()'s exact ascending-d reduction order. The
+// transpose is O(h) per tile row and amortizes over the whole tile.
+// SWAT_NO_FP_CONTRACT pins the multiply-then-add rounding of the score
+// and S'V loops to dot()/axpy()'s, so outputs are bit-identical to the
+// per-head kernel on every ISA.
+SWAT_NO_FP_CONTRACT
+void fused_window_tasks(ConstMatrixView q, ConstMatrixView k,
+                        ConstMatrixView v,
+                        std::span<const std::int64_t> offsets,
+                        std::int64_t num_heads, std::int64_t window_before,
+                        std::int64_t window_after, float scale, MatrixView out,
+                        std::int64_t t0, std::int64_t t1) {
+  SWAT_NO_FP_CONTRACT_BODY
+  const std::int64_t h = q.cols() / num_heads;
+  constexpr std::int64_t kQueryTile = 64;
+  {
+    // The only per-thread scratch, leased from the thread's Workspace
+    // arena (steady state is allocation-free): one scaled query row, one
+    // row's score band, one transposed K tile, one output-row accumulator
+    // — O(window x head_dim), never (rows x window).
+    const std::int64_t band = window_before + window_after + 1;
+    const std::int64_t tile_cols = kQueryTile + band - 1;
+    WorkspaceLease qs_lease(tls_workspace(), static_cast<std::size_t>(h));
+    WorkspaceLease s_lease(tls_workspace(), static_cast<std::size_t>(band));
+    WorkspaceLease kt_lease(tls_workspace(),
+                            static_cast<std::size_t>(tile_cols * h));
+    WorkspaceLease z_lease(tls_workspace(), static_cast<std::size_t>(h));
+    float* const qs = qs_lease.data();
+    float* const sp = s_lease.data();
+    float* const kt = kt_lease.data();
+    float* const zacc = z_lease.data();
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t s = t / num_heads;
+      const std::int64_t base = (t % num_heads) * h;
+      const std::int64_t row0 = offsets[static_cast<std::size_t>(s)];
+      const std::int64_t n = offsets[static_cast<std::size_t>(s + 1)] - row0;
+      for (std::int64_t i0 = 0; i0 < n; i0 += kQueryTile) {
+        const std::int64_t i1 = std::min(i0 + kQueryTile, n);
+        // K columns any row of this tile can attend: [tk0, tk1].
+        const std::int64_t tk0 = std::max<std::int64_t>(0, i0 - window_before);
+        const std::int64_t tk1 =
+            std::min<std::int64_t>(n - 1, i1 - 1 + window_after);
+        const std::int64_t tk = tk1 - tk0 + 1;
+        // kt[d * tk + (j - tk0)] = K[row0 + j][base + d]: the transposed
+        // tile the score loops stream unit-stride.
+        for (std::int64_t j = tk0; j <= tk1; ++j) {
+          const float* krow = k.row(row0 + j).data() + base;
+          for (std::int64_t d = 0; d < h; ++d) {
+            kt[d * tk + (j - tk0)] = krow[d];
+          }
+        }
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* qrow = q.row(row0 + i).data() + base;
+          for (std::int64_t d = 0; d < h; ++d) qs[d] = qrow[d] * scale;
+          const std::int64_t lo =
+              std::max<std::int64_t>(0, i - window_before);
+          const std::int64_t hi =
+              std::min<std::int64_t>(n - 1, i + window_after);
+          const std::int64_t count = hi - lo + 1;
+          // Exactly Eq. 1's operation order per element — QK dot, exp
+          // with no max subtraction, S'V accumulation, one deferred
+          // division — scheduled as one pass per stage over the row's
+          // score band so each tight loop pipelines. Element-wise the
+          // arithmetic and its order match fused_window_attention exactly
+          // (d and j ascending everywhere), so per-head outputs are
+          // bit-identical to the per-head kernel.
+          float* const __restrict sb = sp;
+          std::fill(sb, sb + count, 0.0f);
+          for (std::int64_t d = 0; d < h; ++d) {
+            const float qd = qs[d];
+            const float* const __restrict ktd = kt + d * tk + (lo - tk0);
+            for (std::int64_t c = 0; c < count; ++c) sb[c] += qd * ktd[c];
+          }
+          float denom = 0.0f;
+          for (std::int64_t c = 0; c < count; ++c) {
+            sb[c] = std::exp(sb[c]);
+            denom += sb[c];
+          }
+          float* const __restrict za = zacc;
+          std::fill(za, za + h, 0.0f);
+          for (std::int64_t c = 0; c < count; ++c) {
+            const float* const __restrict vr =
+                v.row(row0 + lo + c).data() + base;
+            const float e = sb[c];
+            for (std::int64_t d = 0; d < h; ++d) za[d] += e * vr[d];
+          }
+          SWAT_ENSURES(denom > 0.0f);
+          float* const zrow = out.row(row0 + i).data() + base;
+          for (std::int64_t d = 0; d < h; ++d) zrow[d] = za[d] / denom;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 MatrixF fused_window_attention(const HeadInput& in,
                                std::int64_t window_radius) {

@@ -28,6 +28,41 @@ namespace swat::attn {
 MatrixF fused_window_attention(const HeadInput& in,
                                std::int64_t window_radius);
 
+/// Batched, allocation-free fused window attention — the serving engine's
+/// attention kernel. `q`/`k`/`v` are the packed Q/K/V projections (rows x
+/// d_model, sequence s occupying rows [offsets[s], offsets[s+1])); each
+/// (sequence, head) task streams the paper's QK -> exp -> SV pass (Eq. 1,
+/// no max subtraction, exactly fused_window_attention's operation order)
+/// directly over its contiguous head slice and writes the head output in
+/// place into `out`'s matching slice (the concat staging). Row i attends
+/// columns [i - window_before, i + window_after] clipped to its own
+/// sequence; `scale` (the 1/sqrt(h) logit scaling) is folded into each
+/// query row as it is staged.
+///
+/// No (rows x window) score matrix is ever materialized: the per-thread
+/// scratch is one scaled query row plus one row's O(window) score tile
+/// (both from the thread's Workspace arena), so the path performs zero
+/// heap allocations after warmup. Per-head outputs are bit-identical to
+/// fused_window_attention on the sliced head (when window_before ==
+/// window_after), for any thread count and batch composition.
+///
+/// Numeric envelope: this is the paper's form — exp WITHOUT max
+/// subtraction — and it inherits Eq. 1's float range: a scaled logit
+/// above ~88.7 overflows exp to inf (NaN output after the division), and
+/// a row whose whole band sits below ~-87.3 underflows every term (the
+/// denom > 0 invariant throws). With the 1/sqrt(h) scaling folded into Q
+/// (as the model layer does), trained-model-like logits are comfortably
+/// inside that range; for adversarial magnitudes use the
+/// kWindowExact backend (stable softmax) or fused_window_attention_online
+/// (running max) instead.
+void fused_window_attention_batch_into(ConstMatrixView q, ConstMatrixView k,
+                                       ConstMatrixView v,
+                                       std::span<const std::int64_t> offsets,
+                                       std::int64_t num_heads,
+                                       std::int64_t window_before,
+                                       std::int64_t window_after, float scale,
+                                       MatrixView out);
+
 MatrixF fused_window_attention_online(const HeadInput& in,
                                       std::int64_t window_radius);
 

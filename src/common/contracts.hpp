@@ -23,6 +23,28 @@
 #include <stdexcept>
 #include <string>
 
+// SWAT_NO_FP_CONTRACT / SWAT_NO_FP_CONTRACT_BODY — pin a kernel's
+// floating-point semantics to "round every multiply, then add" regardless
+// of the target ISA. Compilers with -ffp-contract=fast (GCC's default)
+// otherwise fuse a*b+c into an FMA wherever the ISA has one, which changes
+// the low bits between -march=native and portable builds. The kernels that
+// promise bit-identical results against a scalar oracle (the packed GEMM
+// microkernel, `dot`, `axpy`, the fused streaming attention) carry these
+// markers so their outputs are identical on every ISA, thread count, and
+// tile partition. Apply SWAT_NO_FP_CONTRACT to the function declaration
+// (GCC honors the attribute) and SWAT_NO_FP_CONTRACT_BODY as the first
+// statement of the body (Clang honors the pragma).
+#if defined(__clang__)
+#define SWAT_NO_FP_CONTRACT
+#define SWAT_NO_FP_CONTRACT_BODY _Pragma("clang fp contract(off)")
+#elif defined(__GNUC__)
+#define SWAT_NO_FP_CONTRACT __attribute__((optimize("fp-contract=off")))
+#define SWAT_NO_FP_CONTRACT_BODY
+#else
+#define SWAT_NO_FP_CONTRACT
+#define SWAT_NO_FP_CONTRACT_BODY
+#endif
+
 namespace swat::detail {
 
 [[noreturn]] inline void contract_violation_expects(const char* cond,

@@ -20,6 +20,7 @@
 // set_num_threads().
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -28,6 +29,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/contracts.hpp"
 
 namespace swat {
 
@@ -125,6 +128,36 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
         (*static_cast<const Body*>(ctx))(b, e);
       },
       const_cast<void*>(static_cast<const void*>(&body)));
+}
+
+/// Fork-join over a 2D tile grid: [0, rows) x [0, cols) cut into tiles of
+/// at most row_grain x col_grain, each tile visited exactly once as
+/// `body(row_begin, row_end, col_begin, col_end)`. The grid is flattened
+/// row-tile-major onto parallel_for, so it inherits the pool's properties:
+/// deterministic for any thread count (the partition of tiles over threads
+/// varies, the tiles themselves do not), inline (and allocation-free) for
+/// single-tile grids or nested calls, one Job allocation otherwise. This is
+/// the fan-out of the packed-weight GEMM, whose output tiles are disjoint
+/// (row panel x column panel) rectangles.
+template <typename Body>
+void parallel_for_2d(std::int64_t rows, std::int64_t row_grain,
+                     std::int64_t cols, std::int64_t col_grain,
+                     const Body& body) {
+  SWAT_EXPECTS(row_grain >= 1 && col_grain >= 1);
+  if (rows <= 0 || cols <= 0) return;
+  const std::int64_t row_tiles = (rows + row_grain - 1) / row_grain;
+  const std::int64_t col_tiles = (cols + col_grain - 1) / col_grain;
+  parallel_for(0, row_tiles * col_tiles, 1,
+               [&](std::int64_t t0, std::int64_t t1) {
+                 for (std::int64_t t = t0; t < t1; ++t) {
+                   const std::int64_t rt = t / col_tiles;
+                   const std::int64_t ct = t % col_tiles;
+                   const std::int64_t r0 = rt * row_grain;
+                   const std::int64_t c0 = ct * col_grain;
+                   body(r0, std::min(r0 + row_grain, rows), c0,
+                        std::min(c0 + col_grain, cols));
+                 }
+               });
 }
 
 }  // namespace swat

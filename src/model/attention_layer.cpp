@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "attention/fused.hpp"
 #include "attention/window.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -41,6 +42,11 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
   SWAT_EXPECTS(d_model % num_heads == 0);
   swat_cfg_.validate();
   SWAT_EXPECTS(swat_cfg_.head_dim == d_model / num_heads);
+  // The fused streaming kernel computes the pure sliding-window pattern
+  // only; a pattern-augmented config must pick a backend that honors it.
+  SWAT_EXPECTS(backend_ != AttentionBackend::kFusedStreaming ||
+               (swat_cfg_.global_cores == 0 && swat_cfg_.random_cores == 0 &&
+                swat_cfg_.window_dilation == 1));
   if (backend_ == AttentionBackend::kSwatSimulator) {
     sim_.emplace(swat_cfg_);
   }
@@ -49,6 +55,11 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
 std::int64_t MultiHeadAttention::parameters() const {
   return wq_.parameters() + wk_.parameters() + wv_.parameters() +
          wo_.parameters();
+}
+
+std::size_t MultiHeadAttention::pack_weights() const {
+  return wq_.packed_weight().floats() + wk_.packed_weight().floats() +
+         wv_.packed_weight().floats() + wo_.packed_weight().floats();
 }
 
 void MultiHeadAttention::attend_one_head_into(const attn::HeadInput& head,
@@ -74,8 +85,9 @@ void MultiHeadAttention::attend_one_head_into(const attn::HeadInput& head,
       attn::masked_attention_into(head, pattern, z);
       return;
     }
+    case AttentionBackend::kFusedStreaming:
     case AttentionBackend::kSwatSimulator:
-      break;  // handled via FunctionalSimulator::run_heads_into
+      break;  // handled batch-wise in forward_batch_into
   }
   SWAT_ENSURES(false);
 }
@@ -214,18 +226,30 @@ void MultiHeadAttention::forward_batch_into(
       stats_ += one;
     }
   } else {
-    // Host backends: each (sequence, head) task slices into the worker's
-    // thread-local staging, attends into the worker's thread-local output,
-    // and scatters into its disjoint block of the packed concat matrix.
-    parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
-      for (std::int64_t t = t0; t < t1; ++t) {
-        attn::HeadInput& in = tls_head_staging();
-        slice_task(t, in);
-        MatrixF& z = tls_head_output();
-        attend_one_head_into(in, z);
-        scatter(t, z);
-      }
-    });
+    if (backend_ == AttentionBackend::kFusedStreaming) {
+      // The serving kernel: no per-head staging, no score matrix. Every
+      // (sequence, head) task streams QK -> exp -> SV (Eq. 1) directly
+      // over its contiguous head slice of the packed projections and
+      // writes the head output in place into concat; the per-thread
+      // scratch is O(window x head_dim).
+      attn::fused_window_attention_batch_into(
+          q, k, v, offsets, num_heads_, swat_cfg_.window_before(),
+          swat_cfg_.window_after(), scale, concat);
+    } else {
+      // Host backends: each (sequence, head) task slices into the
+      // worker's thread-local staging, attends into the worker's
+      // thread-local output, and scatters into its disjoint block of the
+      // packed concat matrix.
+      parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          attn::HeadInput& in = tls_head_staging();
+          slice_task(t, in);
+          MatrixF& z = tls_head_output();
+          attend_one_head_into(in, z);
+          scatter(t, z);
+        }
+      });
+    }
     for (std::int64_t s = 0; s < nseq; ++s) {
       AttentionStats one;
       one.heads_run = num_heads_;

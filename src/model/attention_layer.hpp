@@ -4,6 +4,18 @@
 //   * kDenseReference — host float32 dense softmax attention (oracle);
 //   * kWindowExact    — host float32 exact banded attention (the algorithm
 //                       SWAT implements, no hardware effects);
+//   * kFusedStreaming — host float32 fused streaming attention in the
+//                       paper's Eq. 1 operation order (QK -> exp -> SV in
+//                       one pass, division deferred): the serving kernel.
+//                       Computes directly over the packed projections —
+//                       no per-head Q/K/V staging copies, no score matrix,
+//                       O(window x head_dim) per-thread scratch. Pure
+//                       sliding-window configs only (global/random cores
+//                       and dilation are rejected at validation). Eq. 1
+//                       skips the softmax max subtraction, so scaled
+//                       logits must stay inside float exp range (see
+//                       attention/fused.hpp); kWindowExact is the
+//                       numerically-armored fallback;
 //   * kSwatSimulator  — the SWAT functional simulator: each head is
 //                       scheduled onto the accelerator model, including the
 //                       fp16 datapath rounding and the off-chip traffic
@@ -28,6 +40,7 @@ namespace swat::model {
 enum class AttentionBackend {
   kDenseReference,
   kWindowExact,
+  kFusedStreaming,
   kSwatSimulator,
 };
 
@@ -118,6 +131,11 @@ class MultiHeadAttention {
   /// Statistics from the most recent forward()/forward_batch() (SWAT
   /// backend only; summed over the batch for forward_batch).
   const AttentionStats& last_stats() const { return stats_; }
+
+  /// Pack all four projection weights panel-major (idempotent) and return
+  /// the total packed floats — Engine::compile calls this so serving never
+  /// packs lazily on the hot path.
+  std::size_t pack_weights() const;
 
   AttentionBackend backend() const { return backend_; }
   std::int64_t num_heads() const { return num_heads_; }

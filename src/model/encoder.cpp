@@ -45,6 +45,15 @@ void EncoderConfig::validate() const {
          std::to_string(d_model / num_heads) +
          ") — the attention cores are sized per head slice");
   }
+  if (backend == AttentionBackend::kFusedStreaming &&
+      (swat.global_cores != 0 || swat.random_cores != 0 ||
+       swat.window_dilation != 1)) {
+    fail("the fused streaming backend computes the pure sliding-window "
+         "pattern only (got global_cores=" + std::to_string(swat.global_cores) +
+         ", random_cores=" + std::to_string(swat.random_cores) +
+         ", window_dilation=" + std::to_string(swat.window_dilation) +
+         ") — pattern-augmented configs need kWindowExact or kSwatSimulator");
+  }
   swat.validate();  // core partition / dilation / clock consistency
 }
 
@@ -112,19 +121,26 @@ void EncoderLayer::forward_batch_into(const MatrixF& x,
   add_rows_into(s.attn_out, x, s.attn_out);
   norm1_.forward_into(s.attn_out, s.norm1_out);
 
-  // FFN block with residual, post-norm. The GELU is the largest elementwise
-  // pass in the layer (n x ffn_mult*d_model activations), run in place on
-  // the hidden buffer.
-  ffn1_.forward_into(s.norm1_out, s.ffn_hidden);
-  gelu_into(s.ffn_hidden, s.ffn_hidden);
-  ffn2_.forward_into(s.ffn_hidden, s.ffn_out);
-  add_rows_into(s.ffn_out, s.norm1_out, s.ffn_out);
+  // FFN block with residual, post-norm. Both halves run with their
+  // elementwise tail fused into the GEMM epilogue: the hidden buffer
+  // (n x ffn_mult*d_model, the layer's largest activation) is written once
+  // already GELU'd instead of written-read-rewritten, and the contract GEMM
+  // adds the residual while each output element is still in a register.
+  // Bit-identical to the unfused forward_into + gelu_into/add_rows_into
+  // sequence this replaced.
+  ffn1_.forward_gelu_into(s.norm1_out, s.ffn_hidden);
+  ffn2_.forward_residual_into(s.ffn_hidden, s.norm1_out, s.ffn_out);
   norm2_.forward_into(s.ffn_out, out);
 }
 
 std::int64_t EncoderLayer::parameters() const {
   return mha_.parameters() + norm1_.parameters() + ffn1_.parameters() +
          ffn2_.parameters() + norm2_.parameters();
+}
+
+std::size_t EncoderLayer::pack_weights() const {
+  return mha_.pack_weights() + ffn1_.packed_weight().floats() +
+         ffn2_.packed_weight().floats();
 }
 
 Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
@@ -180,6 +196,12 @@ std::int64_t Encoder::parameters() const {
   std::int64_t p = 0;
   for (const auto& layer : layers_) p += layer->parameters();
   return p;
+}
+
+std::size_t Encoder::pack_weights() const {
+  std::size_t floats = 0;
+  for (const auto& layer : layers_) floats += layer->pack_weights();
+  return floats;
 }
 
 Bytes Encoder::last_swat_traffic() const {

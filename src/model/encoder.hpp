@@ -86,6 +86,10 @@ class EncoderLayer {
   const MultiHeadAttention& attention() const { return mha_; }
   std::int64_t parameters() const;
 
+  /// Pack every Linear weight in the layer panel-major (idempotent);
+  /// returns the packed floats. See Encoder::pack_weights.
+  std::size_t pack_weights() const;
+
  private:
   MultiHeadAttention mha_;
   LayerNorm norm1_;
@@ -133,6 +137,13 @@ class Encoder {
 
   const EncoderConfig& config() const { return cfg_; }
   std::int64_t parameters() const;
+
+  /// Pack every Linear weight in the stack into the panel-major layout the
+  /// packed GEMM streams (idempotent — weights already packed are not
+  /// repacked). Returns the total packed floats. Engine::compile calls
+  /// this so the serving hot path never packs lazily; the allocating
+  /// Encoder paths pack on first forward instead.
+  std::size_t pack_weights() const;
   const EncoderLayer& layer(int i) const {
     SWAT_EXPECTS(i >= 0 && i < static_cast<int>(layers_.size()));
     return *layers_[static_cast<std::size_t>(i)];

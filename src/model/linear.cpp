@@ -23,19 +23,37 @@ MatrixF Linear::forward(const MatrixF& x) const {
   return y;
 }
 
+const PackedWeight& Linear::packed_weight() const {
+  if (packed_dirty_) {
+    pack_weight_nt(weight_, packed_);
+    packed_dirty_ = false;
+  }
+  return packed_;
+}
+
 void Linear::forward_into(const MatrixF& x, MatrixF& y) const {
   SWAT_EXPECTS(x.cols() == in_features());
   SWAT_EXPECTS(&y != &x);
-  if (weight_t_dirty_) {
-    weight_t_ = transpose(weight_);
-    weight_t_dirty_ = false;
-  }
   y.reshape(x.rows(), out_features());
-  // The GEMM streams the cached W^T unit-stride and seeds the accumulator
-  // rows with the bias, so the bias add costs no extra pass over y.
-  detail::gemm(x.data(), in_features(), weight_t_.data(), out_features(),
-               y.data(), out_features(), x.rows(), out_features(),
-               in_features(), bias_.data(), /*parallel=*/true);
+  // The packed-panel GEMM streams the pre-packed weights unit-stride and
+  // seeds the accumulators with the bias, so the bias add costs no extra
+  // pass over y.
+  gemm_packed_into(x, packed_weight(), bias_, y);
+}
+
+void Linear::forward_gelu_into(const MatrixF& x, MatrixF& y) const {
+  SWAT_EXPECTS(x.cols() == in_features());
+  SWAT_EXPECTS(&y != &x);
+  y.reshape(x.rows(), out_features());
+  gemm_packed_gelu_into(x, packed_weight(), bias_, y);
+}
+
+void Linear::forward_residual_into(const MatrixF& x, const MatrixF& residual,
+                                   MatrixF& y) const {
+  SWAT_EXPECTS(x.cols() == in_features());
+  SWAT_EXPECTS(&y != &x && &y != &residual);
+  y.reshape(x.rows(), out_features());
+  gemm_packed_residual_into(x, packed_weight(), bias_, residual, y);
 }
 
 }  // namespace swat::model

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 
 namespace swat::model {
@@ -27,18 +28,38 @@ class Linear {
   /// Bit-identical to forward(). `y` must not alias `x`.
   void forward_into(const MatrixF& x, MatrixF& y) const;
 
+  /// y = gelu(X W^T + b): the FFN-expand step with the activation fused
+  /// into the GEMM epilogue, so the hidden buffer is written once instead
+  /// of written-read-rewritten. Bit-identical to forward_into followed by
+  /// gelu_into.
+  void forward_gelu_into(const MatrixF& x, MatrixF& y) const;
+
+  /// y = X W^T + b + residual: the FFN-contract step with the residual add
+  /// fused into the GEMM epilogue. `residual` must be batch x out_features
+  /// and may alias `x`'s storage only if it IS x (it is read per element
+  /// before y's write). Bit-identical to forward_into + add_rows_into.
+  void forward_residual_into(const MatrixF& x, const MatrixF& residual,
+                             MatrixF& y) const;
+
   std::int64_t in_features() const { return weight_.cols(); }
   std::int64_t out_features() const { return weight_.rows(); }
 
-  /// Mutable access invalidates the cached transposed weights the GEMM
-  /// streams; the cache rebuilds lazily on the next forward().
+  /// Mutable access invalidates the packed panel-major weights the GEMM
+  /// microkernel streams; the pack rebuilds lazily on the next forward()
+  /// (or eagerly via packed_weight(), which Engine::compile uses so the
+  /// serving steady state never packs).
   MatrixF& weight() {
-    weight_t_dirty_ = true;
+    packed_dirty_ = true;
     return weight_;
   }
   const MatrixF& weight() const { return weight_; }
   std::vector<float>& bias() { return bias_; }
   const std::vector<float>& bias() const { return bias_; }
+
+  /// The panel-major packed weights (packing them first if stale). Exposed
+  /// so the engine can pack every layer at compile time and introspect the
+  /// packed footprint.
+  const PackedWeight& packed_weight() const;
 
   /// Parameter count (weights + biases).
   std::int64_t parameters() const {
@@ -48,12 +69,13 @@ class Linear {
  private:
   MatrixF weight_;  // out x in
   std::vector<float> bias_;
-  // W^T cached so forward() doesn't re-transpose the constant weights per
-  // call (for single-token decode the transpose costs as much as the GEMM).
-  // Rebuilt lazily after weight() mutation; forward() stays logically const
-  // but is therefore not safe to call concurrently on one Linear instance.
-  mutable MatrixF weight_t_;  // in x out
-  mutable bool weight_t_dirty_ = true;
+  // Panel-major pack of W^T streamed by gemm_packed (tensor/kernels.hpp) so
+  // forward() neither re-transposes nor re-walks the row-major weight per
+  // call. Rebuilt lazily after weight() mutation; forward() stays logically
+  // const but is therefore not safe to call concurrently on one Linear
+  // instance.
+  mutable PackedWeight packed_;
+  mutable bool packed_dirty_ = true;
 };
 
 }  // namespace swat::model

@@ -4,7 +4,12 @@ namespace swat {
 
 // EncoderConfig::validate runs inside the Encoder constructor, before any
 // weights are built, so a bad geometry fails here with a real message.
-Engine::Engine(model::EncoderConfig cfg) : encoder_(std::move(cfg)) {}
+// Weights are packed here, eagerly: an Engine exists to serve, and packing
+// at construction (rather than lazily on the first forward) keeps the
+// first request as allocation-free as the thousandth.
+Engine::Engine(model::EncoderConfig cfg)
+    : encoder_(std::move(cfg)),
+      packed_weight_floats_(encoder_.pack_weights()) {}
 
 Engine Engine::compile(model::EncoderConfig cfg, std::int64_t max_tokens) {
   Engine engine(std::move(cfg));

@@ -7,11 +7,15 @@
 //
 //   Engine::compile(cfg, max_tokens)
 //     validates the config (EncoderConfig::validate), builds the weights,
-//     walks the encoder geometry once, and sizes every intermediate a
-//     packed batch of up to max_tokens rows needs — Q/K/V projections,
-//     the per-head concat staging, LN outputs, the GELU hidden buffer,
-//     residual outputs, and the two ping-pong layer-I/O buffers — binding
-//     them into a persistent activation arena (ExecutionPlan).
+//     packs every Linear weight once into the panel-major layout the
+//     packed GEMM microkernel streams (weights are engine-wide constants,
+//     shared by every plan — packed_weight_floats() reports the
+//     footprint), walks the encoder geometry once, and sizes every
+//     intermediate a packed batch of up to max_tokens rows needs — Q/K/V
+//     projections, the per-head concat staging, LN outputs, the GELU
+//     hidden buffer, residual outputs, and the two ping-pong layer-I/O
+//     buffers — binding them into a persistent activation arena
+//     (ExecutionPlan).
 //
 //   Engine::run(packed, offsets[, stats])
 //     executes the whole stack through the allocation-free *_into paths
@@ -43,7 +47,8 @@ namespace swat {
 /// (one per bucket shape in the serving runtime) and independent — two
 /// plans never share buffers. Runs against one Engine must still be
 /// serialized, though: the encoder underneath keeps mutable per-call
-/// state (attention counters, lazily transposed weights), the same
+/// state (attention counters — weight packs are immutable after
+/// construction), the same
 /// not-concurrently-callable contract as MultiHeadAttention::forward.
 class ExecutionPlan {
  public:
@@ -105,9 +110,15 @@ class Engine {
   const model::Encoder& encoder() const { return encoder_; }
   const ExecutionPlan& plan() const { return plan_; }
 
+  /// Total floats held by the panel-major packed weights (packed eagerly
+  /// at construction, shared by every plan this engine mints — weight
+  /// memory is per-engine, activation memory per-plan).
+  std::size_t packed_weight_floats() const { return packed_weight_floats_; }
+
  private:
   model::Encoder encoder_;
-  ExecutionPlan plan_;  ///< default plan, bound at compile()
+  ExecutionPlan plan_;          ///< default plan, bound at compile()
+  std::size_t packed_weight_floats_ = 0;
 };
 
 }  // namespace swat

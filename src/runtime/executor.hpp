@@ -16,9 +16,11 @@
 // never results.
 //
 // Thread safety: execution is serialized on an internal mutex (the encoder
-// underneath keeps mutable per-call state — attention counters, lazily
-// transposed weights), and plan compilation is guarded by the PlanCache's
-// own mutex, so concurrent submitters can never race a lazy compile.
+// underneath keeps mutable per-call state — attention counters; the
+// panel-major weight packs are built eagerly at Engine construction, so
+// they are immutable by the time any request runs), and plan compilation
+// is guarded by the PlanCache's own mutex, so concurrent submitters can
+// never race a lazy compile.
 #pragma once
 
 #include <cstdint>
@@ -150,6 +152,11 @@ class BatchExecutor {
   const BatchingOptions& batching() const { return batching_; }
   std::size_t plan_count() const { return cache_.plan_count(); }
   std::size_t plan_arena_floats() const { return cache_.plan_arena_floats(); }
+  /// Packed-weight footprint of the engine (per-engine, shared by every
+  /// cached plan — see Engine::packed_weight_floats).
+  std::size_t packed_weight_floats() const {
+    return engine_.packed_weight_floats();
+  }
 
  private:
   Engine engine_;

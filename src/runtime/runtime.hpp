@@ -74,6 +74,9 @@ class Runtime {
   std::size_t plan_arena_floats() const {
     return executor_.plan_arena_floats();
   }
+  std::size_t packed_weight_floats() const {
+    return executor_.packed_weight_floats();
+  }
 
  private:
   BatchExecutor executor_;

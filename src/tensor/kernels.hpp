@@ -120,6 +120,73 @@ void matmul_nt_bias_into(const MatrixF& a, const MatrixF& b,
 MatrixF matmul_naive(const MatrixF& a, const MatrixF& b);
 MatrixF matmul_nt_naive(const MatrixF& a, const MatrixF& b);
 
+// ----------------------------------------------------------------------
+// Packed-weight GEMM. A Linear weight is constant across every batch it
+// serves, so the serving engine packs it ONCE (Engine::compile) into a
+// panel-major layout the microkernel streams unit-stride, instead of
+// re-transposing or re-walking the row-major weight per batch:
+//
+//   W (out x in, row-major)  --pack-->  panel 0 | panel 1 | ... | panel P-1
+//
+//   each panel = kPanel (=32) consecutive output columns, stored k-major:
+//   panel row kk holds W[j0..j0+31][kk] contiguously, so the inner loop
+//   broadcasts one A element and multiply-accumulates it against 32
+//   contiguous weights. The last panel is zero-padded to kPanel lanes
+//   (padded lanes are computed and discarded; zero weights keep them
+//   finite).
+//
+// The microkernel accumulates every output element with a single float
+// accumulator in ascending-k order with the multiply rounded before the
+// add (SWAT_NO_FP_CONTRACT pins that even on FMA ISAs) — the exact
+// arithmetic of matmul_nt_naive's dot() — so gemm_packed output is
+// bit-identical to the scalar oracle for every shape, thread count, tile
+// partition, AND host ISA (-march=native and portable builds produce the
+// same bits). Fused epilogues (bias seed, GELU, residual add) touch each
+// output element once while it is still in a register instead of
+// re-streaming the output matrix per pass.
+struct PackedWeight {
+  /// Output columns per packed panel (the microkernel's register width:
+  /// 32 lanes x 6 rows of accumulators = 12 independent FMA chains on
+  /// 512-bit SIMD, enough to hide the FMA latency).
+  static constexpr std::int64_t kPanel = 32;
+
+  std::int64_t in_features = 0;   ///< k (depth of the reduction)
+  std::int64_t out_features = 0;  ///< n (logical output columns)
+  std::vector<float> data;        ///< panels() blocks of in_features x kPanel
+
+  std::int64_t panels() const {
+    return (out_features + kPanel - 1) / kPanel;
+  }
+  std::size_t floats() const { return data.size(); }
+  bool empty() const { return data.empty(); }
+};
+
+/// Pack `w` (out_features x in_features, the Linear weight layout) into
+/// panel-major form. Reuses `packed.data`'s capacity, so repacking after a
+/// weight mutation does not allocate once the shape has been seen.
+void pack_weight_nt(const MatrixF& w, PackedWeight& packed);
+
+/// out = A * W^T [+ bias row]. A is m x in_features; out must be
+/// m x out_features and may not alias A. `bias` (length out_features, or
+/// empty) seeds the accumulators, exactly like matmul_nt_bias_into.
+/// Bit-identical to matmul_nt_naive when bias is empty. Parallelized over
+/// a 2D (row tile x column panel) grid via parallel_for_2d.
+void gemm_packed_into(ConstMatrixView a, const PackedWeight& w,
+                      std::span<const float> bias, MatrixView out);
+
+/// out = gelu(A * W^T + bias): the FFN-expand epilogue. Bit-identical to
+/// gemm_packed_into followed by gelu_into, without the extra pass.
+void gemm_packed_gelu_into(ConstMatrixView a, const PackedWeight& w,
+                           std::span<const float> bias, MatrixView out);
+
+/// out = A * W^T + bias + residual: the FFN-contract epilogue (residual is
+/// m x out_features). Bit-identical to gemm_packed_into followed by
+/// add_rows_into, without the extra pass. `residual` may alias `a` but not
+/// `out`.
+void gemm_packed_residual_into(ConstMatrixView a, const PackedWeight& w,
+                               std::span<const float> bias,
+                               ConstMatrixView residual, MatrixView out);
+
 namespace detail {
 
 /// Raw strided GEMM: C[m x n] = A[m x k] * B[k x n] (+ optional broadcast

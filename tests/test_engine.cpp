@@ -20,16 +20,7 @@ using model::AttentionBackend;
 using model::AttentionStats;
 using model::EncoderConfig;
 
-class ThreadCountGuard {
- public:
-  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
-    set_num_threads(n);
-  }
-  ~ThreadCountGuard() { set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using swat::testing::ThreadCountGuard;
 
 EncoderConfig small_config(AttentionBackend backend) {
   EncoderConfig cfg;
@@ -83,6 +74,25 @@ TEST(EngineCompile, BindsArenaSizedForTheHighWaterShape) {
   // A separately minted plan for twice the tokens is exactly twice as big.
   const ExecutionPlan big = engine.make_plan(192);
   EXPECT_EQ(big.arena_floats(), 192 * per_row);
+}
+
+TEST(EngineCompile, PacksEveryLinearWeightEagerly) {
+  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const Engine engine = Engine::compile(cfg, 64);
+  // Per layer: four d x d projections, the d -> ffn_mult*d expand, and the
+  // ffn_mult*d -> d contract. Every out_features here is a multiple of the
+  // panel width, so the packed footprint equals the raw weight counts.
+  const std::size_t d = static_cast<std::size_t>(cfg.d_model);
+  const std::size_t hidden = d * static_cast<std::size_t>(cfg.ffn_mult);
+  const std::size_t per_layer = 4 * d * d + 2 * d * hidden;
+  EXPECT_EQ(engine.packed_weight_floats(),
+            per_layer * static_cast<std::size_t>(cfg.layers));
+  // Plans do not carry weights: minting more plans leaves the packed
+  // footprint untouched (weights are per-engine, activations per-plan).
+  const ExecutionPlan extra = engine.make_plan(128);
+  EXPECT_EQ(engine.packed_weight_floats(),
+            per_layer * static_cast<std::size_t>(cfg.layers));
+  EXPECT_GT(extra.arena_floats(), 0u);
 }
 
 TEST(EngineCompile, RunRejectsBatchesBeyondThePlanShape) {
@@ -172,9 +182,14 @@ TEST(EngineBitIdentity, SwatSimulatorBackend) {
   check_planned_bit_identity(AttentionBackend::kSwatSimulator);
 }
 
+TEST(EngineBitIdentity, FusedStreamingBackend) {
+  check_planned_bit_identity(AttentionBackend::kFusedStreaming);
+}
+
 TEST(EngineBitIdentity, ThreadCountInvariance) {
   for (const AttentionBackend backend :
-       {AttentionBackend::kWindowExact, AttentionBackend::kSwatSimulator}) {
+       {AttentionBackend::kWindowExact, AttentionBackend::kFusedStreaming,
+        AttentionBackend::kSwatSimulator}) {
     const EncoderConfig cfg = small_config(backend);
     const auto [packed, offsets] = make_packed(cfg, {17, 64, 33, 5, 48});
 

@@ -90,16 +90,7 @@ namespace {
 using model::AttentionBackend;
 using model::EncoderConfig;
 
-class ThreadCountGuard {
- public:
-  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
-    set_num_threads(n);
-  }
-  ~ThreadCountGuard() { set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using swat::testing::ThreadCountGuard;
 
 /// A compact encoder geometry that exercises real multi-head attention but
 /// keeps the (value-level) SWAT simulator fast enough for unit tests.
@@ -323,14 +314,17 @@ TEST(Runtime, SteadyStateServingDoesNotGrowArenas) {
 /// with the global operator-new counter, not an arena-capacity proxy.
 /// Single-threaded so the measurement excludes the pool's O(1) fork-join
 /// bookkeeping (with workers that is the only remaining allocation, and it
-/// is independent of batch size).
-TEST(RuntimePlanned, SteadyStateIsAllocationFreeAfterWarmup) {
+/// is independent of batch size). Parameterized over the host serving
+/// backends: the banded window path and the fused streaming path (whose
+/// weights are pre-packed at Engine::compile and whose attention scratch
+/// is leased from the per-thread Workspace) must both go quiet.
+void check_steady_state_allocation_free(AttentionBackend backend) {
   // The hook must actually be observing allocations, or the ==0 assertion
   // below would pass vacuously (gtest setup alone guarantees many).
   ASSERT_GT(g_alloc_count.load(), 0u);
 
   ThreadCountGuard guard(1);
-  const EncoderConfig cfg = small_config(AttentionBackend::kWindowExact);
+  const EncoderConfig cfg = small_config(backend);
   Engine engine = Engine::compile(cfg, 200);
 
   // Mixed bucket shapes: short, boundary (64), ragged multi-sequence, and
@@ -366,6 +360,14 @@ TEST(RuntimePlanned, SteadyStateIsAllocationFreeAfterWarmup) {
   const std::size_t allocs = g_alloc_count.load() - before;
   EXPECT_EQ(allocs, 0u)
       << allocs << " heap allocation(s) on the warmed planned path";
+}
+
+TEST(RuntimePlanned, SteadyStateIsAllocationFreeAfterWarmup) {
+  check_steady_state_allocation_free(AttentionBackend::kWindowExact);
+}
+
+TEST(RuntimePlanned, SteadyStateIsAllocationFreeWithFusedStreaming) {
+  check_steady_state_allocation_free(AttentionBackend::kFusedStreaming);
 }
 
 /// Plans must be compiled once per bucket shape class and reused across

@@ -30,16 +30,7 @@ namespace {
 using model::AttentionBackend;
 using model::EncoderConfig;
 
-class ThreadCountGuard {
- public:
-  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
-    set_num_threads(n);
-  }
-  ~ThreadCountGuard() { set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using swat::testing::ThreadCountGuard;
 
 /// The compact encoder geometry the runtime tests standardize on.
 EncoderConfig small_config(AttentionBackend backend) {

@@ -17,18 +17,7 @@
 namespace swat {
 namespace {
 
-/// Restores the ambient thread count on scope exit so tests don't leak
-/// pool configuration into each other.
-class ThreadCountGuard {
- public:
-  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
-    set_num_threads(n);
-  }
-  ~ThreadCountGuard() { set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using swat::testing::ThreadCountGuard;
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   ThreadCountGuard guard(4);
@@ -71,6 +60,73 @@ TEST(ThreadPool, NeverInvokesBodyWithInvertedRange) {
   });
   EXPECT_FALSE(inverted.load());
   EXPECT_EQ(covered.load(), 33);
+}
+
+TEST(ThreadPool2d, CoversEveryCellExactlyOnceWithTileAlignedBounds) {
+  ThreadCountGuard guard(4);
+  // Odd extents and grains so both dimensions have ragged edge tiles.
+  constexpr std::int64_t kRows = 37, kCols = 53;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  parallel_for_2d(kRows, 10, kCols, 8,
+                  [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                      std::int64_t c1) {
+                    // Tiles start on grain boundaries and never exceed it.
+                    EXPECT_EQ(r0 % 10, 0);
+                    EXPECT_EQ(c0 % 8, 0);
+                    EXPECT_LE(r1 - r0, 10);
+                    EXPECT_LE(c1 - c0, 8);
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      for (std::int64_t c = c0; c < c1; ++c) {
+                        hits[static_cast<std::size_t>(r * kCols + c)]
+                            .fetch_add(1);
+                      }
+                    }
+                  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ThreadPool2d, EmptyDimensionsInvokeNothing) {
+  ThreadCountGuard guard(4);
+  int calls = 0;
+  const auto count = [&](std::int64_t, std::int64_t, std::int64_t,
+                         std::int64_t) { ++calls; };
+  parallel_for_2d(0, 4, 10, 4, count);
+  parallel_for_2d(10, 4, 0, 4, count);
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(parallel_for_2d(4, 0, 4, 1, count), std::invalid_argument);
+  EXPECT_THROW(parallel_for_2d(4, 1, 4, -1, count), std::invalid_argument);
+}
+
+TEST(ThreadPool2d, SingleTileRunsInline) {
+  ThreadCountGuard guard(4);
+  std::thread::id body_thread;
+  parallel_for_2d(3, 8, 5, 8,
+                  [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                      std::int64_t c1) {
+                    EXPECT_EQ(r0, 0);
+                    EXPECT_EQ(r1, 3);
+                    EXPECT_EQ(c0, 0);
+                    EXPECT_EQ(c1, 5);
+                    body_thread = std::this_thread::get_id();
+                  });
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool2d, NestedInsidePoolWorkRunsInline) {
+  ThreadCountGuard guard(4);
+  std::atomic<std::int64_t> cells{0};
+  parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      parallel_for_2d(6, 2, 6, 2,
+                      [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                          std::int64_t c1) {
+                        cells.fetch_add((r1 - r0) * (c1 - c0));
+                      });
+    }
+  });
+  EXPECT_EQ(cells.load(), 8 * 36);
 }
 
 TEST(ThreadPool, NestedParallelForRunsInline) {

@@ -4,9 +4,25 @@
 #include <gtest/gtest.h>
 
 #include "attention/reference.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace swat::testing {
+
+/// Sets the pool's thread count for one scope and restores the ambient
+/// value on exit, so tests don't leak pool configuration into each other.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+};
 
 /// Assert two matrices agree element-wise within `tol`.
 inline void expect_matrix_near(const MatrixF& actual, const MatrixF& expected,

@@ -28,6 +28,17 @@
 // checked bit-identical to the sequential oracle before any timing is
 // believed.
 //
+// The OVERLOAD sweep then pushes the async server from 0.5x to 4x offered
+// load with a 50/50 interactive/bulk mix under the production overload
+// shape: kShedBulk admission (bulk shed at the queue watermark,
+// interactive reserved headroom) plus a deadline on every interactive
+// request, so hopeless interactive work is shed before compute instead of
+// being served uselessly late. Per class and intensity it reports goodput
+// (served requests/s), shed rate, deadline sheds/misses, and p50/p99
+// TURNAROUND (admission to completion) of the requests actually served —
+// the numbers that show interactive latency holding its budget at 4x
+// while bulk absorbs the shedding.
+//
 // Usage: server_throughput [--smoke] [--out <path>]
 #include <algorithm>
 #include <chrono>
@@ -72,6 +83,21 @@ struct ArmResult {
   double p99_queue_ms = 0.0;
   double tokens_per_s = 0.0;
   std::int64_t batches = 0;
+};
+
+/// One (offered load, SLO class) cell of the overload sweep.
+struct OverloadResult {
+  double intensity_rel = 0.0;
+  std::string slo_class;
+  std::int64_t submitted = 0;
+  std::int64_t served = 0;
+  std::int64_t shed = 0;
+  std::int64_t deadline_shed = 0;
+  std::int64_t deadline_missed = 0;
+  double shed_rate = 0.0;  ///< (shed + deadline_shed) / submitted
+  double goodput_per_s = 0.0;
+  double p50_turnaround_ms = 0.0;
+  double p99_turnaround_ms = 0.0;
 };
 
 }  // namespace
@@ -241,6 +267,86 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- overload sweep: 0.5x..4x offered load, 50/50 interactive/bulk,
+  // kShedBulk admission + interactive deadlines. Bulk is expected to shed
+  // as load crosses 1x; interactive turnaround must hold its budget.
+  const std::vector<double> overload_intensities =
+      smoke ? std::vector<double>{0.5, 4.0}
+            : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+  // The interactive latency budget: the wall time of ~8 sequential
+  // requests, floored at 100 ms — generous when idle, binding at 4x.
+  const double interactive_deadline_s =
+      std::max(0.1, 8.0 / service_rps);
+  std::vector<OverloadResult> overload;
+  for (const double rel : overload_intensities) {
+    const double rps = rel * service_rps;
+    swat::Rng arrival_rng(1234 + static_cast<std::uint64_t>(rel * 1000.0));
+    std::vector<double> arrival(requests.size());
+    double t = 0.0;
+    for (double& a : arrival) {
+      t += -std::log(1.0 - arrival_rng.uniform(0.0, 1.0)) / rps;
+      a = t;
+    }
+
+    swat::ServerOptions opt;
+    opt.batching.max_batch_latency = swat::Seconds{
+        swat::BatchCostModel(cfg).request_seconds(length_cycle[1]).value *
+        4.0};
+    opt.admission = swat::OverflowPolicy::kShedBulk;
+    opt.queue_capacity = 16;
+    opt.shed_watermark = 0.75;  // bulk sheds at 12 queued
+    Server server(cfg, opt);
+
+    std::vector<Server::Ticket> tickets(requests.size());
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(arrival[i]));
+      std::this_thread::sleep_until(due);
+      InferenceRequest req = requests[i];  // copy: the pool is reused
+      req.priority = (i % 2 == 0) ? swat::Priority::kInteractive
+                                  : swat::Priority::kBulk;
+      if (req.priority == swat::Priority::kInteractive) {
+        req.deadline = swat::Seconds{interactive_deadline_s};
+      }
+      tickets[i] = server.submit(std::move(req));
+    }
+    std::vector<double> turnaround_ms[2];
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      try {
+        const RequestResult res = tickets[i].get();
+        turnaround_ms[i % 2].push_back(res.counters.turnaround.value * 1e3);
+      } catch (const std::exception&) {
+        // shed at admission or by deadline — ledgered in server.stats()
+      }
+    }
+    const double makespan =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    server.drain();
+    const swat::ServerStats stats = server.stats();
+    for (const swat::Priority cls :
+         {swat::Priority::kInteractive, swat::Priority::kBulk}) {
+      const swat::ClassStats& cs = stats.of(cls);
+      OverloadResult row;
+      row.intensity_rel = rel;
+      row.slo_class = swat::to_string(cls);
+      row.submitted = cs.submitted;
+      row.served = cs.served;
+      row.shed = cs.shed;
+      row.deadline_shed = cs.deadline_shed;
+      row.deadline_missed = cs.deadline_missed;
+      row.shed_rate = cs.submitted == 0
+                          ? 0.0
+                          : static_cast<double>(cs.shed + cs.deadline_shed) /
+                                static_cast<double>(cs.submitted);
+      row.goodput_per_s = static_cast<double>(cs.served) / makespan;
+      const std::size_t lane = cls == swat::Priority::kInteractive ? 0 : 1;
+      row.p50_turnaround_ms = percentile(turnaround_ms[lane], 0.5);
+      row.p99_turnaround_ms = percentile(turnaround_ms[lane], 0.99);
+      overload.push_back(row);
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "error: cannot open " << out_path << " for writing\n";
@@ -266,6 +372,24 @@ int main(int argc, char** argv) {
         << ", \"batches\": " << a.batches << "}"
         << (i + 1 < arms.size() ? "," : "") << "\n";
   }
+  out << "  ],\n"
+      << "  \"interactive_deadline_ms\": " << interactive_deadline_s * 1e3
+      << ",\n"
+      << "  \"overload\": [\n";
+  for (std::size_t i = 0; i < overload.size(); ++i) {
+    const OverloadResult& o = overload[i];
+    out << "    {\"intensity_rel\": " << o.intensity_rel
+        << ", \"class\": \"" << o.slo_class
+        << "\", \"submitted\": " << o.submitted
+        << ", \"served\": " << o.served << ", \"shed\": " << o.shed
+        << ", \"deadline_shed\": " << o.deadline_shed
+        << ", \"deadline_missed\": " << o.deadline_missed
+        << ", \"shed_rate\": " << o.shed_rate
+        << ", \"goodput_per_s\": " << o.goodput_per_s
+        << ", \"p50_turnaround_ms\": " << o.p50_turnaround_ms
+        << ", \"p99_turnaround_ms\": " << o.p99_turnaround_ms << "}"
+        << (i + 1 < overload.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
 
   std::printf(
@@ -281,6 +405,22 @@ int main(int argc, char** argv) {
                 a.mode.c_str(), a.intensity_rel, a.intensity_rps,
                 a.p50_queue_ms, a.p99_queue_ms, a.tokens_per_s,
                 static_cast<long long>(a.batches));
+  }
+  std::printf(
+      "\noverload sweep (kShedBulk, interactive deadline %.0f ms)\n",
+      interactive_deadline_s * 1e3);
+  std::printf("%6s %-12s %6s %6s %6s %7s %7s %10s %9s %9s\n", "load",
+              "class", "subm", "served", "shed", "dl-shed", "dl-miss",
+              "goodput/s", "p50 ms", "p99 ms");
+  for (const OverloadResult& o : overload) {
+    std::printf(
+        "%5.1fx %-12s %6lld %6lld %6lld %7lld %7lld %10.1f %9.2f %9.2f\n",
+        o.intensity_rel, o.slo_class.c_str(),
+        static_cast<long long>(o.submitted),
+        static_cast<long long>(o.served), static_cast<long long>(o.shed),
+        static_cast<long long>(o.deadline_shed),
+        static_cast<long long>(o.deadline_missed), o.goodput_per_s,
+        o.p50_turnaround_ms, o.p99_turnaround_ms);
   }
   std::cout << "wrote " << out_path << "\n";
   return out ? 0 : 1;

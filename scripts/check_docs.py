@@ -15,6 +15,12 @@
    excluding namespace detail) must be mentioned in docs/ARCHITECTURE.md —
    the packed-GEMM/fusion surface is the serving hot path and its docs may
    not go stale either.
+5. The overload/observability surface — src/runtime/stats.hpp (SLO
+   classes, per-class counters, health snapshot) and
+   src/common/fault_injection.hpp (every top-level type and every public
+   method of FaultInjector) — must be mentioned in docs/ARCHITECTURE.md:
+   the failure semantics are a documented contract, same as the serving
+   API itself.
 
 Exits non-zero with one line per violation.
 """
@@ -67,34 +73,42 @@ CPP_KEYWORDS = {"if", "while", "for", "switch", "return", "sizeof",
                 "static_cast", "operator"}
 
 
-def server_public_api(header):
-    """Top-level type names + public method names of class Server."""
-    text = header.read_text(encoding="utf-8")
-    names = set(TYPE_RE.findall(text))
-
-    lines = text.splitlines()
-    in_server, public = False, False
+def class_public_methods(text, class_name):
+    """Public method names of `class_name` in a header's text."""
+    names = set()
+    in_class, public = False, False
     depth = 0
-    for line in lines:
-        if re.match(r"^class Server\b", line):
-            in_server = True  # class access defaults to private
+    for line in text.splitlines():
+        if re.match(rf"^class {class_name}\b", line):
+            in_class = True  # class access defaults to private
             public = False
-        if not in_server:
+        if not in_class:
             continue
-        depth += line.count("{") - line.count("}")
         if re.match(r"^\s*public:", line):
             public = True
         elif re.match(r"^\s*(private|protected):", line):
             public = False
-        elif public:
+        elif public and depth == 1:
+            # Braces are counted AFTER matching, so declaration lines sit
+            # at depth 1 while the lines of an inline method body sit at
+            # depth >= 2 — a call inside a body is not a declaration.
             m = METHOD_RE.match(line)
             if m:
                 name = m.group(1)
                 if name not in CPP_KEYWORDS and not name.startswith("~") \
-                        and name != "Server":
+                        and name != class_name:
                     names.add(name)
-        if depth <= 0 and "};" in line and in_server:
+        depth += line.count("{") - line.count("}")
+        if depth <= 0 and "};" in line and in_class:
             break
+    return names
+
+
+def server_public_api(header):
+    """Top-level type names + public method names of class Server."""
+    text = header.read_text(encoding="utf-8")
+    names = set(TYPE_RE.findall(text))
+    names |= class_public_methods(text, "Server")
     return sorted(names)
 
 
@@ -149,6 +163,39 @@ def check_kernels_api_mentions(errors):
                 f"`{name}` is not documented")
 
 
+def check_resilience_api_mentions(errors):
+    """stats.hpp and fault_injection.hpp public APIs must be documented."""
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+
+    stats = REPO / "src" / "runtime" / "stats.hpp"
+    if not stats.exists():
+        errors.append("src/runtime/stats.hpp is missing")
+    else:
+        # Same shape as kernels.hpp: top-level types + column-0 free
+        # functions (to_string overloads and friends).
+        for name in kernels_public_api(stats):
+            if not re.search(rf"\b{re.escape(name)}\b", text):
+                errors.append(
+                    "docs/ARCHITECTURE.md: stats.hpp public API "
+                    f"`{name}` is not documented")
+
+    fault = REPO / "src" / "common" / "fault_injection.hpp"
+    if not fault.exists():
+        errors.append("src/common/fault_injection.hpp is missing")
+    else:
+        fault_text = fault.read_text(encoding="utf-8")
+        names = set(TYPE_RE.findall(fault_text))
+        names |= class_public_methods(fault_text, "FaultInjector")
+        for name in sorted(names):
+            if not re.search(rf"\b{re.escape(name)}\b", text):
+                errors.append(
+                    "docs/ARCHITECTURE.md: fault_injection.hpp public API "
+                    f"`{name}` is not documented")
+
+
 def check_server_api_mentions(errors):
     header = REPO / "src" / "runtime" / "server.hpp"
     arch = REPO / "docs" / "ARCHITECTURE.md"
@@ -173,12 +220,13 @@ def main():
     check_architecture_mentions(errors)
     check_server_api_mentions(errors)
     check_kernels_api_mentions(errors)
+    check_resilience_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
               "all links resolve, architecture map covers src/, "
-              "server and kernel APIs documented")
+              "server, kernel, stats and fault-injection APIs documented")
     return 1 if errors else 0
 
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault_injection.hpp"
 #include "runtime/cost_model.hpp"
 
 namespace swat {
@@ -47,11 +48,14 @@ void BatchFormer::cut(Bucket& bucket) {
   bucket.predicted = Seconds{0.0};
 }
 
-std::size_t BatchFormer::push(std::size_t request_index, std::int64_t length) {
+std::size_t BatchFormer::push(std::size_t request_index, std::int64_t length,
+                              Priority priority) {
   SWAT_EXPECTS(length >= 1);
-  const std::int64_t key =
+  SWAT_FAULT_POINT("batcher.push");
+  const std::int64_t length_class =
       (length + opt_.bucket_width - 1) / opt_.bucket_width;
-  Bucket& bucket = buckets_[key];
+  Bucket& bucket =
+      buckets_[{static_cast<std::uint8_t>(priority), length_class}];
   std::size_t cuts = 0;
 
   // The request does not fit the open batch: cut it and start fresh. An
@@ -63,6 +67,7 @@ std::size_t BatchFormer::push(std::size_t request_index, std::int64_t length) {
     ++cuts;
   }
 
+  bucket.batch.priority = priority;  // after the cut: a cut resets the batch
   if (bucket.batch.offsets.empty()) bucket.batch.offsets.push_back(0);
   bucket.batch.request_indices.push_back(request_index);
   bucket.batch.offsets.push_back(bucket.batch.rows() + length);

@@ -28,9 +28,11 @@
 #include <deque>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
+#include "runtime/stats.hpp"
 
 namespace swat {
 
@@ -66,6 +68,10 @@ struct BatchPlanEntry {
   /// Packed row offsets, one per request plus a trailing total:
   /// request_indices[i]'s rows occupy [offsets[i], offsets[i+1]).
   std::vector<std::int64_t> offsets;
+  /// The SLO class every member was admitted under — batches are
+  /// class-pure (a bulk request never widens an interactive batch's
+  /// straggler time). Always kInteractive from the offline planner.
+  Priority priority = Priority::kInteractive;
 
   /// Number of requests in the entry; 0 for a default-constructed entry.
   std::int64_t requests() const {
@@ -106,13 +112,16 @@ class BatchFormer {
   explicit BatchFormer(BatchingOptions opt,
                        const BatchCostModel* cost_model = nullptr);
 
-  /// Admit one request (length >= 1). Returns how many batches this push
-  /// moved to the ready queue (0, 1, or 2 — a token-cap cut plus an
-  /// immediately-full fresh batch).
-  std::size_t push(std::size_t request_index, std::int64_t length);
+  /// Admit one request (length >= 1) under `priority` — buckets are keyed
+  /// by (class, length class), so batches stay class-pure. Returns how
+  /// many batches this push moved to the ready queue (0, 1, or 2 — a
+  /// token-cap cut plus an immediately-full fresh batch).
+  std::size_t push(std::size_t request_index, std::int64_t length,
+                   Priority priority = Priority::kInteractive);
 
-  /// Cut every pending partial batch, ascending length class. Returns how
-  /// many batches moved to the ready queue.
+  /// Cut every pending partial batch — interactive classes first, then
+  /// bulk, ascending length class within each. Returns how many batches
+  /// moved to the ready queue.
   std::size_t flush();
 
   bool has_ready() const { return !ready_.empty(); }
@@ -137,7 +146,9 @@ class BatchFormer {
 
   BatchingOptions opt_;
   const BatchCostModel* cost_model_;
-  std::map<std::int64_t, Bucket> buckets_;  ///< length class -> open batch
+  /// (SLO class, length class) -> open batch; map order puts interactive
+  /// ahead of bulk on flush.
+  std::map<std::pair<std::uint8_t, std::int64_t>, Bucket> buckets_;
   std::deque<BatchPlanEntry> ready_;
   std::int64_t pending_requests_ = 0;
   std::int64_t pending_tokens_ = 0;

@@ -20,4 +20,10 @@ Seconds BatchCostModel::batch_seconds(const BatchPlanEntry& entry) const {
   return total;
 }
 
+Seconds BatchCostModel::deadline_slack(std::int64_t seq_len, Seconds deadline,
+                                       Seconds waited) const {
+  return Seconds{deadline.value - waited.value -
+                 request_seconds(seq_len).value};
+}
+
 }  // namespace swat

@@ -37,6 +37,14 @@ class BatchCostModel {
   /// occupancy of a batch is additive in its members.
   Seconds batch_seconds(const BatchPlanEntry& entry) const;
 
+  /// Deadline slack for a request that has already waited `waited` of its
+  /// `deadline`: deadline - waited - request_seconds(seq_len). A
+  /// non-positive slack means the request cannot meet its deadline even if
+  /// it ran this instant — the shedding signal that fails a hopeless
+  /// ticket (DeadlineExceeded) BEFORE compute is spent on it.
+  Seconds deadline_slack(std::int64_t seq_len, Seconds deadline,
+                         Seconds waited) const;
+
   const AnalyticModel& analytic() const { return analytic_; }
 
  private:

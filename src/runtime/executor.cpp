@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "attention/flops.hpp"
+#include "common/fault_injection.hpp"
 
 namespace swat {
 
@@ -81,6 +82,10 @@ std::vector<RequestResult> BatchExecutor::execute(
   SWAT_EXPECTS(n >= 1);
   SWAT_EXPECTS(static_cast<std::int64_t>(inputs.size()) == n);
   SWAT_EXPECTS(static_cast<std::int64_t>(entry.offsets.size()) == n + 1);
+  // Resilience hook: a kThrow here is a batch-level executor failure (the
+  // serving front-end must fail exactly this batch's tickets and keep
+  // serving); a kDelay is a wedged executor (what the watchdog detects).
+  SWAT_FAULT_POINT("executor.execute");
   const std::int64_t d_model = encoder().config().d_model;
   const std::int64_t rows = entry.rows();
   const std::vector<std::int64_t>& offsets = entry.offsets;

@@ -31,6 +31,7 @@
 
 #include "runtime/batcher.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/stats.hpp"
 
 namespace swat {
 
@@ -44,6 +45,11 @@ struct RequestCounters {
   /// Time the request spent admitted-but-unserved before its batch started
   /// executing. Stamped by the async server; zero on the synchronous path.
   Seconds queue_delay;
+  /// Admission-to-completion wall time (queueing + batch formation + batch
+  /// execution). Stamped by the async server; zero on the synchronous
+  /// path. Timing-dependent, like queue_delay — excluded from the
+  /// determinism contract. What the request's deadline is judged against.
+  Seconds turnaround;
 
   // Attention counters measured by the model (SWAT backend only for the
   // traffic/load fields), summed over layers.
@@ -60,6 +66,14 @@ struct RequestCounters {
 struct InferenceRequest {
   std::uint64_t id = 0;
   MatrixF input;  ///< seq_len x d_model token embeddings, seq_len >= 1
+  /// SLO class (runtime/stats.hpp): interactive is drained first and never
+  /// shed first; bulk is the class kShedBulk rejects at the watermark.
+  Priority priority = Priority::kInteractive;
+  /// Completion deadline measured from admission; zero means none (any
+  /// ServerOptions::default_deadline applies instead). A request the cost
+  /// model predicts cannot meet its deadline is failed with
+  /// DeadlineExceeded before compute is spent on it.
+  Seconds deadline{0.0};
 };
 
 struct RequestResult {

@@ -1,5 +1,8 @@
 #include "runtime/server.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -7,6 +10,27 @@
 #include "common/contracts.hpp"
 
 namespace swat {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string ms_string(double seconds) {
+  return std::to_string(seconds * 1e3) + " ms";
+}
+
+/// ServerOptions::shed_watermark is a fraction of queue_capacity; the
+/// AdmissionQueue wants absolute slots in [1, capacity].
+std::size_t shed_watermark_slots(const ServerOptions& opt) {
+  const auto slots = static_cast<std::size_t>(
+      opt.shed_watermark * static_cast<double>(opt.queue_capacity));
+  return std::clamp<std::size_t>(slots, 1, opt.queue_capacity);
+}
+
+}  // namespace
 
 void ServerOptions::validate() const {
   batching.validate();
@@ -22,28 +46,73 @@ void ServerOptions::validate() const {
         "the age cut), got " +
         std::to_string(max_batch_wait.value));
   }
+  if (!(shed_watermark > 0.0) || shed_watermark > 1.0) {
+    throw std::invalid_argument(
+        "ServerOptions: shed_watermark must be in (0, 1] — it is the "
+        "fraction of queue_capacity at which kShedBulk sheds the bulk "
+        "lane — got " +
+        std::to_string(shed_watermark));
+  }
+  if (bulk_aging_interval < 1) {
+    throw std::invalid_argument(
+        "ServerOptions: bulk_aging_interval must be >= 1 (serve one "
+        "waiting bulk request after this many consecutive interactive "
+        "pops), got " +
+        std::to_string(bulk_aging_interval));
+  }
+  if (default_deadline.value < 0.0) {
+    throw std::invalid_argument(
+        "ServerOptions: default_deadline must be >= 0 seconds (0 means "
+        "no default deadline), got " +
+        std::to_string(default_deadline.value));
+  }
+  if (watchdog_multiplier != 0.0 && watchdog_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "ServerOptions: watchdog_multiplier must be 0 (watchdog disabled) "
+        "or >= 1 — a stall threshold below the predicted service time "
+        "itself would flag every healthy batch — got " +
+        std::to_string(watchdog_multiplier));
+  }
+  if (watchdog_grace.value < 0.0) {
+    throw std::invalid_argument(
+        "ServerOptions: watchdog_grace must be >= 0 seconds (the absolute "
+        "floor added to the stall threshold), got " +
+        std::to_string(watchdog_grace.value));
+  }
 }
 
 Server::Server(model::EncoderConfig cfg, ServerOptions opt)
     : opt_((opt.validate(), opt)),
       executor_(cfg, opt.batching),
-      cost_model_(opt.batching.max_batch_latency.value > 0.0
-                      ? std::make_unique<BatchCostModel>(cfg)
-                      : nullptr),
-      queue_(opt.queue_capacity, opt.admission) {
+      cost_model_(std::make_unique<BatchCostModel>(cfg)),
+      queue_(opt.queue_capacity, opt.admission, shed_watermark_slots(opt),
+             opt.bulk_aging_interval) {
+  if (opt_.watchdog_multiplier > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 Server::~Server() { shutdown(); }
 
 Server::Ticket Server::submit(InferenceRequest request) {
+  const std::size_t lane = static_cast<std::size_t>(request.priority);
+  SWAT_EXPECTS(lane < kPriorityClasses);
   std::promise<RequestResult> promise;
   Ticket ticket = promise.get_future();
+  {
+    std::lock_guard lock(state_mutex_);
+    ++class_stats_[lane].submitted;
+  }
 
   // Malformed inputs fail their own ticket instead of poisoning the
   // scheduler thread rows deep into a forward pass.
   const std::int64_t d_model = encoder().config().d_model;
   if (request.input.rows() < 1 || request.input.cols() != d_model) {
+    {
+      std::lock_guard lock(state_mutex_);
+      ++class_stats_[lane].shed;
+    }
     promise.set_exception(std::make_exception_ptr(std::invalid_argument(
         "Server::submit: input must be seq_len x d_model with seq_len >= 1 "
         "(got " +
@@ -53,29 +122,87 @@ Server::Ticket Server::submit(InferenceRequest request) {
     return ticket;
   }
 
+  // A request whose deadline the cost model says is unmeetable even if it
+  // ran this instant is hopeless: fail it now, before it occupies a queue
+  // slot, let alone compute.
+  const Seconds deadline = request.deadline.value > 0.0
+                               ? request.deadline
+                               : opt_.default_deadline;
+  if (deadline.value > 0.0) {
+    const Seconds predicted =
+        cost_model_->request_seconds(request.input.rows());
+    if (predicted.value > deadline.value) {
+      {
+        std::lock_guard lock(state_mutex_);
+        ++class_stats_[lane].deadline_shed;
+      }
+      promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "Server::submit: predicted service time " +
+          ms_string(predicted.value) + " alone exceeds the deadline " +
+          ms_string(deadline.value) + " — shed at admission, no compute "
+          "spent")));
+      return ticket;
+    }
+  }
+
   Pending pending{std::move(request), std::move(promise),
-                  std::chrono::steady_clock::now()};
-  // Count the admission BEFORE the push: the scheduler may serve the
+                  std::chrono::steady_clock::now(), deadline, 0};
+  // Ledger the admission BEFORE the push: the scheduler may serve the
   // request (bumping completed_) before we regain the lock, and drain()
   // must never observe completed_ > admitted_.
   {
     std::lock_guard lock(state_mutex_);
+    pending.seq = next_seq_++;
     ++admitted_;
+    ++class_stats_[lane].admitted;
+    outstanding_.emplace(pending.seq, pending.admitted);
   }
-  if (!queue_.push(pending)) {
-    // Rejected (queue full under kReject, or the server is shut down).
-    // push() moves from `pending` only on success, so the promise is ours.
+
+  using Admission = AdmissionQueue<Pending, kPriorityClasses>::Admission;
+  Admission admission = Admission::kClosed;
+  std::exception_ptr push_error;
+  try {
+    admission = queue_.push(pending, lane);
+  } catch (...) {
+    // A fault injected at the "queue.push" crossing: the push never
+    // happened, so resolve the ticket as a shed with the injected error.
+    push_error = std::current_exception();
+  }
+  if (admission != Admission::kAdmitted) {
+    // push() moves from `pending` only on admission, so the promise is
+    // still ours to reject.
     {
       std::lock_guard lock(state_mutex_);
       --admitted_;
+      --class_stats_[lane].admitted;
+      ++class_stats_[lane].shed;
+      outstanding_.erase(pending.seq);
     }
     drained_cv_.notify_all();
-    pending.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-        queue_.closed()
-            ? "Server::submit: server is shut down"
-            : "Server::submit: admission queue full (capacity " +
-                  std::to_string(opt_.queue_capacity) +
-                  ", policy kReject) — request shed")));
+    if (!push_error) {
+      std::string what;
+      switch (admission) {
+        case Admission::kClosed:
+          what = "Server::submit: server is shut down";
+          break;
+        case Admission::kShed:
+          what = "Server::submit: bulk admission shed at the overload "
+                 "watermark (" +
+                 std::to_string(shed_watermark_slots(opt_)) + " of capacity " +
+                 std::to_string(opt_.queue_capacity) +
+                 ", policy kShedBulk) — headroom reserved for interactive";
+          break;
+        default:
+          what = "Server::submit: admission queue full (capacity " +
+                 std::to_string(opt_.queue_capacity) + ", policy " +
+                 (opt_.admission == OverflowPolicy::kShedBulk ? "kShedBulk"
+                                                              : "kReject") +
+                 ") — request shed";
+          break;
+      }
+      push_error = std::make_exception_ptr(std::runtime_error(what));
+    }
+    pending.promise.set_exception(push_error);
   }
   return ticket;
 }
@@ -99,11 +226,65 @@ void Server::shutdown() {
   std::lock_guard lock(shutdown_mutex_);
   queue_.close();
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    std::lock_guard watch_lock(watch_mutex_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 RuntimeTotals Server::totals() const {
   std::lock_guard lock(state_mutex_);
   return totals_;
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(state_mutex_);
+    for (std::size_t i = 0; i < kPriorityClasses; ++i) {
+      stats.per_class[i] = class_stats_[i];
+    }
+    stats.batches = totals_.batches;
+    if (!outstanding_.empty()) {
+      stats.oldest_pending_age =
+          Seconds{seconds_between(outstanding_.begin()->second, now)};
+    }
+  }
+  stats.queue_depth = queue_.size();
+  stats.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ServerHealth Server::health() const {
+  ServerHealth health;
+  const auto now = std::chrono::steady_clock::now();
+  bool failed = false;
+  {
+    std::lock_guard lock(state_mutex_);
+    failed = failed_;
+    if (!outstanding_.empty()) {
+      health.oldest_pending_age =
+          Seconds{seconds_between(outstanding_.begin()->second, now)};
+    }
+  }
+  {
+    std::lock_guard lock(watch_mutex_);
+    if (exec_active_) {
+      health.current_batch_age = Seconds{seconds_between(exec_start_, now)};
+    }
+  }
+  health.queue_depth = queue_.size();
+  health.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+  health.state = failed ? HealthState::kFailed
+                 : queue_.closed()
+                     ? HealthState::kShutdown
+                     : stalled_now_.load(std::memory_order_relaxed)
+                           ? HealthState::kStalled
+                           : HealthState::kHealthy;
+  return health;
 }
 
 void Server::scheduler_loop() {
@@ -115,51 +296,88 @@ void Server::scheduler_loop() {
     while (former.has_ready()) run_batch(former.pop_ready(), inflight);
   };
 
-  for (;;) {
-    std::optional<Pending> pending;
-    if (former.pending_requests() == 0) {
-      pending = queue_.pop();  // idle: park until work arrives or close
-      if (!pending) break;     // closed and fully drained
-    } else {
-      pending = queue_.try_pop();
-    }
-    if (pending) {
-      const std::int64_t length = pending->request.input.rows();
-      const std::size_t index = next_index++;
-      inflight.emplace(index, std::move(*pending));
-      former.push(index, length);
-      // Age cut: under sustained load the queue never goes empty, so the
-      // flush below never fires — without a wait bound, a request in a
-      // sparse length class could pend forever for bucket-mates that never
-      // come. inflight is ordered by admission index, so begin() is the
-      // oldest request still waiting (pending or in a just-cut batch —
-      // a spurious flush of the latter is harmless).
-      if (opt_.max_batch_wait.value > 0.0 && former.pending_requests() > 0 &&
-          !inflight.empty()) {
-        const double waited =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          inflight.begin()->second.admitted)
-                .count();
-        if (waited >= opt_.max_batch_wait.value) former.flush();
+  try {
+    for (;;) {
+      std::optional<std::pair<Pending, std::size_t>> claimed;
+      if (former.pending_requests() == 0) {
+        claimed = queue_.pop();  // idle: park until work arrives or close
+        if (!claimed) break;     // closed and fully drained
+      } else {
+        claimed = queue_.try_pop();
       }
-    } else {
-      // The arrival queue went momentarily empty while batches are open:
-      // stop waiting and cut now. Work conservation — a scheduler that
-      // idles on a partial batch only adds queue latency, never width.
-      former.flush();
+      if (claimed) {
+        Pending pending = std::move(claimed->first);
+        // Claim-time deadline check: queueing may have consumed the slack
+        // the submit-time check still saw. Shed before any compute.
+        if (pending.deadline.value > 0.0) {
+          const Seconds waited{seconds_between(
+              pending.admitted, std::chrono::steady_clock::now())};
+          const Seconds slack = cost_model_->deadline_slack(
+              pending.request.input.rows(), pending.deadline, waited);
+          if (slack.value <= 0.0) {
+            const std::size_t lane =
+                static_cast<std::size_t>(pending.request.priority);
+            pending.promise.set_exception(std::make_exception_ptr(
+                DeadlineExceeded("Server: deadline exceeded before "
+                                 "execution (deadline " +
+                                 ms_string(pending.deadline.value) +
+                                 ", waited " + ms_string(waited.value) +
+                                 ") — shed, no compute spent")));
+            {
+              std::lock_guard lock(state_mutex_);
+              ++class_stats_[lane].deadline_shed;
+              outstanding_.erase(pending.seq);
+              ++completed_;
+            }
+            drained_cv_.notify_all();
+            continue;
+          }
+        }
+        const Priority priority = pending.request.priority;
+        const std::int64_t length = pending.request.input.rows();
+        const std::size_t index = next_index++;
+        inflight.emplace(index, std::move(pending));
+        former.push(index, length, priority);
+        // Age cut: under sustained load the queue never goes empty, so the
+        // flush below never fires — without a wait bound, a request in a
+        // sparse length class could pend forever for bucket-mates that
+        // never come. inflight is ordered by claim index, so begin() is
+        // the oldest request still waiting (pending or in a just-cut batch
+        // — a spurious flush of the latter is harmless).
+        if (opt_.max_batch_wait.value > 0.0 &&
+            former.pending_requests() > 0 && !inflight.empty()) {
+          const double waited =
+              seconds_between(inflight.begin()->second.admitted,
+                              std::chrono::steady_clock::now());
+          if (waited >= opt_.max_batch_wait.value) former.flush();
+        }
+      } else {
+        // The arrival queue went momentarily empty while batches are open:
+        // stop waiting and cut now. Work conservation — a scheduler that
+        // idles on a partial batch only adds queue latency, never width.
+        former.flush();
+      }
+      run_ready();
     }
+    // close() raced a final flush at most: cut and serve whatever remains
+    // so every admitted ticket resolves.
+    former.flush();
     run_ready();
+    SWAT_ENSURES(inflight.empty());
+  } catch (...) {
+    // The scheduler itself died (e.g. an injected fault at the
+    // "queue.pop" or "batcher.push" crossing) — this thread is about to
+    // exit, so anything admitted would hang forever. Reject everything
+    // cleanly instead. Batch-level executor failures never reach here:
+    // run_batch contains them.
+    scheduler_failed(std::current_exception(), inflight);
   }
-  // close() raced a final flush at most: cut and serve whatever remains so
-  // every admitted ticket resolves.
-  former.flush();
-  run_ready();
-  SWAT_ENSURES(inflight.empty());
 }
 
 void Server::run_batch(BatchPlanEntry entry,
                        std::map<std::size_t, Pending>& inflight) {
   const std::size_t n = entry.request_indices.size();
+  const std::size_t lane = static_cast<std::size_t>(entry.priority);
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<Pending> members;
@@ -174,8 +392,13 @@ void Server::run_batch(BatchPlanEntry entry,
   }
   for (const Pending& member : members) inputs.push_back(&member.request);
 
+  // Stamp the executing batch for the watchdog: it flags a stall once the
+  // batch's age exceeds grace + multiplier * this prediction.
+  exec_begin(cost_model_->batch_seconds(entry));
   try {
     std::vector<RequestResult> results = executor_.execute(entry, inputs);
+    exec_end();
+    const auto finish = std::chrono::steady_clock::now();
     std::int64_t batch_index = 0;
     {
       std::lock_guard lock(state_mutex_);
@@ -184,25 +407,121 @@ void Server::run_batch(BatchPlanEntry entry,
         totals_.accumulate(res.counters);
       }
     }
+    std::int64_t missed = 0;
     for (std::size_t i = 0; i < n; ++i) {
       results[i].counters.batch_index = batch_index;
       results[i].counters.queue_delay =
-          Seconds{std::chrono::duration<double>(start - members[i].admitted)
-                      .count()};
+          Seconds{seconds_between(members[i].admitted, start)};
+      const Seconds turnaround{seconds_between(members[i].admitted, finish)};
+      results[i].counters.turnaround = turnaround;
+      // Served late is still served — the SLO violation is ledgered, the
+      // caller still gets the answer.
+      if (members[i].deadline.value > 0.0 &&
+          turnaround.value > members[i].deadline.value) {
+        ++missed;
+      }
       members[i].promise.set_value(std::move(results[i]));
     }
+    {
+      std::lock_guard lock(state_mutex_);
+      class_stats_[lane].served += static_cast<std::int64_t>(n);
+      class_stats_[lane].deadline_missed += missed;
+      for (const Pending& member : members) outstanding_.erase(member.seq);
+      completed_ += n;
+    }
   } catch (...) {
-    // A failed batch fails every member ticket — completed-or-rejected,
-    // never hung.
+    exec_end();
+    // A failed batch fails every member ticket and ONLY them — the server
+    // keeps serving. Completed-or-rejected, never hung.
     for (Pending& member : members) {
       member.promise.set_exception(std::current_exception());
     }
+    {
+      std::lock_guard lock(state_mutex_);
+      class_stats_[lane].failed += static_cast<std::int64_t>(n);
+      for (const Pending& member : members) outstanding_.erase(member.seq);
+      completed_ += n;
+    }
+  }
+  drained_cv_.notify_all();
+}
+
+void Server::scheduler_failed(std::exception_ptr error,
+                              std::map<std::size_t, Pending>& inflight)
+    noexcept {
+  // Close FIRST: push() checks closed_ under the queue mutex, so once
+  // discard() has run nothing can land in the queue behind the dead
+  // scheduler — a racing submit either beat the discard (rejected below)
+  // or sees kClosed and rejects its own ticket.
+  queue_.close();
+  std::vector<std::pair<Pending, std::size_t>> queued = queue_.discard();
+  for (auto& [index, pending] : inflight) {
+    pending.promise.set_exception(error);
+  }
+  for (auto& [pending, lane] : queued) {
+    pending.promise.set_exception(error);
   }
   {
     std::lock_guard lock(state_mutex_);
-    completed_ += n;
+    failed_ = true;
+    for (auto& [index, pending] : inflight) {
+      ++class_stats_[static_cast<std::size_t>(pending.request.priority)]
+            .failed;
+      outstanding_.erase(pending.seq);
+      ++completed_;
+    }
+    for (auto& [pending, lane] : queued) {
+      ++class_stats_[lane].failed;
+      outstanding_.erase(pending.seq);
+      ++completed_;
+    }
   }
+  inflight.clear();
   drained_cv_.notify_all();
+}
+
+void Server::exec_begin(Seconds predicted) {
+  {
+    std::lock_guard lock(watch_mutex_);
+    exec_active_ = true;
+    stall_flagged_ = false;
+    exec_start_ = std::chrono::steady_clock::now();
+    exec_predicted_ = predicted;
+  }
+}
+
+void Server::exec_end() {
+  {
+    std::lock_guard lock(watch_mutex_);
+    exec_active_ = false;
+    stall_flagged_ = false;
+  }
+  stalled_now_.store(false, std::memory_order_relaxed);
+}
+
+void Server::watchdog_loop() {
+  // Poll a few times per grace period; the floor keeps a zero/small grace
+  // from busy-spinning.
+  const auto poll = std::chrono::duration<double>(
+      std::max(0.001, opt_.watchdog_grace.value * 0.25));
+  std::unique_lock lock(watch_mutex_);
+  for (;;) {
+    watch_cv_.wait_for(lock, poll, [&] { return watch_stop_; });
+    if (watch_stop_) return;
+    if (!exec_active_ || stall_flagged_) continue;
+    const double age =
+        seconds_between(exec_start_, std::chrono::steady_clock::now());
+    // The prediction is ACCELERATOR-model time — far below host wall time
+    // — so the grace floor dominates the threshold by design; the
+    // multiplier term only matters for genuinely enormous batches.
+    const double threshold = opt_.watchdog_grace.value +
+                             opt_.watchdog_multiplier * exec_predicted_.value;
+    if (age > threshold) {
+      stall_flagged_ = true;  // one stall episode, one count
+      stalled_now_.store(true, std::memory_order_relaxed);
+      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace swat

@@ -1,47 +1,80 @@
-// swat::Server — the asynchronous continuous-batching serving front-end.
+// swat::Server — the asynchronous continuous-batching serving front-end,
+// with SLO classes, deadline-aware shedding, and a stall watchdog.
 //
 // Real serving traffic does not arrive as one request list: requests show
 // up one at a time, concurrently, and each caller wants its own answer as
 // soon as possible. Server is the admission side of that workload:
 //
-//   submit(request) ──▶ bounded ConcurrentQueue ──▶ scheduler thread
-//                                                     │ BatchFormer
-//                                                     │   (caps + latency
-//                                                     │    budget cuts)
-//                                                     ▼
-//                                            BatchExecutor::execute
-//                                                     │
-//   Ticket (std::future) ◀── promise fulfilled ◀──────┘
+//   submit(request) ──▶ class-aware AdmissionQueue ──▶ scheduler thread
+//     │ interactive lane drained first,                  │ deadline shed
+//     │ bulk aged in (never starved),                    │ BatchFormer
+//     │ kShedBulk sheds bulk at the                      │   (class-pure
+//     │ watermark under overload                         │    batches; caps
+//     │                                                  │    + latency
+//     │                                                  │    budget cuts)
+//     ▼                                                  ▼
+//   Ticket (std::future) ◀── promise fulfilled ◀── BatchExecutor::execute
+//                                                    ▲ watchdog watches
 //
 // submit() is thread-safe and returns a per-request Ticket (a
 // std::future<RequestResult>) immediately; a background scheduler thread
-// pops admitted requests, feeds them to an incremental BatchFormer, and
-// cuts a batch when max_batch_requests / max_batch_tokens is hit or when
-// the batch's predicted service time (BatchCostModel over the paper's
-// stage-latency pipeline model) reaches the max_batch_latency budget — the
-// hardware model decides when to stop waiting for more arrivals. When the
-// arrival queue goes momentarily empty, pending partial batches are cut
-// immediately (work conservation: waiting longer would only add latency).
+// pops admitted requests — interactive first, bulk aged in every
+// bulk_aging_interval pops so it is never starved — and feeds them to an
+// incremental BatchFormer. A batch is cut when max_batch_requests /
+// max_batch_tokens is hit or when the batch's predicted service time
+// (BatchCostModel over the paper's stage-latency pipeline model) reaches
+// the max_batch_latency budget. When the arrival queue goes momentarily
+// empty, pending partial batches are cut immediately (work conservation).
 //
-// Backpressure: the admission queue is bounded (queue_capacity). At the
-// bound, OverflowPolicy::kBlock parks the submitter until the scheduler
-// frees a slot; kReject fails the ticket immediately with
-// std::runtime_error — load shedding for callers that prefer an error over
-// waiting.
+// Overload and failure semantics (docs/ARCHITECTURE.md "Overload &
+// failure semantics"):
+//   * Backpressure / shedding: the admission queue is bounded
+//     (queue_capacity). At the bound, OverflowPolicy::kBlock parks the
+//     submitter, kReject fails the ticket, and kShedBulk — the overload
+//     policy — rejects BULK once occupancy reaches shed_watermark while
+//     interactive keeps admitting up to full capacity; nothing blocks.
+//   * Deadlines: a request may carry a deadline (or inherit
+//     default_deadline). A ticket whose deadline the cost model predicts
+//     unmeetable is failed with DeadlineExceeded BEFORE compute is spent:
+//     at submit when the predicted service time alone exceeds it, and at
+//     claim when waiting has consumed the slack. A request served past
+//     its deadline still returns its result and is counted
+//     deadline_missed.
+//   * Watchdog: when watchdog_multiplier > 0, a watchdog thread flags the
+//     scheduler stalled once the executing batch overruns
+//     watchdog_grace + watchdog_multiplier * predicted — surfaced through
+//     health() (kStalled while overrunning, sticky stall counter in
+//     stats()).
+//   * Failure isolation: an executor failure fails exactly that batch's
+//     tickets and the server keeps serving; a scheduler-fatal failure
+//     closes admission, cleanly rejects every in-flight and queued
+//     ticket (drain() returns, nothing hangs), and health() reports
+//     kFailed. Injected faults (common/fault_injection.hpp) prove both
+//     paths in tests/test_resilience.cpp.
 //
 // Determinism contract: WHICH batch a request lands in depends on arrival
 // timing (that is the point of continuous batching); WHAT the request's
 // output and counters are does not. The shared BatchExecutor guarantees
 // every member of every formed batch is bit-identical to a solo
-// Encoder::forward run, for any SWAT_THREADS, arrival order, and batch cut
-// (tests/test_server.cpp). Timing-dependent fields (batch_index,
-// queue_delay) are explicitly excluded from that guarantee.
+// Encoder::forward run, for any SWAT_THREADS, arrival order, SLO class
+// mix, and batch cut (tests/test_server.cpp) — scheduling policy decides
+// which requests are served and when, never what a served request's
+// output is. Timing-dependent fields (batch_index, queue_delay,
+// turnaround) are explicitly excluded from that guarantee.
 //
 // Shutdown: shutdown() (and the destructor) closes admission, lets the
-// scheduler finish everything already admitted, and joins the thread —
+// scheduler finish everything already admitted, and joins the threads —
 // every ticket is always completed or rejected, never leaked or hung.
+//
+// submit_many partial-reject semantics: a burst is admitted strictly in
+// order, one ticket per request, and each ticket resolves exactly once.
+// Under kReject / kShedBulk admission the queue can fill (or cross the
+// shed watermark) partway through the burst, so EARLIER tickets may serve
+// while LATER ones reject — there is no all-or-nothing transaction, by
+// design: shedding exists to keep absorbing what still fits.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -55,6 +88,7 @@
 #include "common/concurrent_queue.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/stats.hpp"
 
 namespace swat {
 
@@ -63,7 +97,9 @@ struct ServerOptions {
   /// Bound on requests admitted but not yet claimed by the scheduler.
   std::size_t queue_capacity = 1024;
   /// What submit() does when the admission queue is full: park the caller
-  /// (kBlock, backpressure) or fail the ticket (kReject, load shedding).
+  /// (kBlock, backpressure), fail the ticket (kReject, load shedding), or
+  /// shed by class (kShedBulk: bulk rejected at shed_watermark,
+  /// interactive only at full capacity, nothing ever blocks).
   OverflowPolicy admission = OverflowPolicy::kBlock;
   /// Longest an admitted request may sit in a pending partial batch while
   /// the arrival queue stays busy. The queue-empty flush already bounds the
@@ -71,6 +107,25 @@ struct ServerOptions {
   /// and without this cap a request in a sparse length class could wait
   /// unboundedly for bucket-mates that never come. Zero disables.
   Seconds max_batch_wait{0.010};
+  /// kShedBulk only: the fraction of queue_capacity at which bulk is
+  /// shed. The headroom above it is reserved for interactive admission.
+  double shed_watermark = 0.75;
+  /// Serve one waiting bulk request after this many consecutive
+  /// interactive pops — the aging knob that keeps priority admission from
+  /// starving bulk entirely.
+  std::size_t bulk_aging_interval = 4;
+  /// Deadline applied to requests that do not carry their own
+  /// (InferenceRequest::deadline == 0). Zero means no default.
+  Seconds default_deadline{0.0};
+  /// Stall threshold multiplier: the watchdog flags the scheduler stalled
+  /// once the executing batch's age exceeds watchdog_grace +
+  /// watchdog_multiplier * predicted service time (BatchCostModel). Zero
+  /// disables the watchdog; when enabled it must be >= 1 (a threshold
+  /// below the prediction itself would flag every healthy batch).
+  double watchdog_multiplier = 0.0;
+  /// Absolute floor added to the stall threshold, absorbing host
+  /// scheduling noise the accelerator-time prediction knows nothing about.
+  Seconds watchdog_grace{0.25};
 
   /// Rejects inconsistent options with actionable messages
   /// (std::invalid_argument).
@@ -80,41 +135,61 @@ struct ServerOptions {
 class Server {
  public:
   /// A per-request claim ticket: resolves to the request's result, or
-  /// rethrows the rejection/failure that prevented serving it.
+  /// rethrows the rejection/failure that prevented serving it
+  /// (DeadlineExceeded, FaultInjectedError, std::runtime_error shed...).
   using Ticket = std::future<RequestResult>;
 
   /// Validates `cfg` (via the engine) and `opt`, compiles the weights, and
-  /// starts the scheduler thread.
+  /// starts the scheduler (and, if enabled, watchdog) threads.
   explicit Server(model::EncoderConfig cfg, ServerOptions opt = {});
   ~Server();  // shutdown()
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admit one request. Thread-safe. The ticket always resolves: with the
-  /// result once its batch ran, or with an exception if the request was
-  /// malformed, the queue rejected it (kReject at capacity), or the server
-  /// was already shut down.
+  /// Admit one request under its SLO class. Thread-safe. The ticket always
+  /// resolves: with the result once its batch ran, or with an exception if
+  /// the request was malformed, shed at admission, predicted (or observed)
+  /// to miss its deadline, failed by its batch's executor, or submitted
+  /// after shutdown.
   Ticket submit(InferenceRequest request);
 
-  /// Admit a burst. Equivalent to submit() in order; with kReject
-  /// admission, later tickets may be rejected while earlier ones serve.
+  /// Admit a burst. Equivalent to submit() in order; with kReject or
+  /// kShedBulk admission, earlier tickets in the burst may serve while
+  /// later ones reject (see the partial-reject semantics above). Every
+  /// returned ticket resolves exactly once.
   std::vector<Ticket> submit_many(std::vector<InferenceRequest> requests);
 
-  /// Block until every request admitted so far has been served (its ticket
-  /// resolved). New submissions during drain() extend the wait.
+  /// Block until every request admitted so far has resolved — served,
+  /// shed, or rejected. New submissions during drain() extend the wait;
+  /// a concurrent shutdown() (or scheduler failure) that discards queued
+  /// requests resolves their tickets with clean rejections, so drain()
+  /// returns instead of waiting on work that will never run.
   void drain();
 
   /// Stop admission, serve everything already admitted, join the
-  /// scheduler. Idempotent and thread-safe. After shutdown, submit()
-  /// returns rejected tickets.
+  /// scheduler and watchdog. Idempotent and thread-safe. After shutdown,
+  /// submit() returns rejected tickets.
   void shutdown();
 
   /// Snapshot of the cumulative totals over everything served so far.
   /// Unlike the synchronous Runtime, batches complete in scheduler order,
   /// so model_flops (a non-associative double sum) may differ from a
   /// caller's own summation order by rounding; all integer fields are
-  /// exact.
+  /// exact. Only SERVED requests are accumulated — shed and failed
+  /// tickets are ledgered in stats() instead.
   RuntimeTotals totals() const;
+
+  /// Snapshot of the serving ledger: per-class
+  /// submitted/admitted/served/shed/deadline counters, queue depth,
+  /// oldest-pending age, batches, watchdog stall episodes. The identities
+  /// it obeys are documented on ClassStats (runtime/stats.hpp).
+  ServerStats stats() const;
+
+  /// The watchdog's liveness snapshot: kHealthy / kStalled (executing
+  /// batch overran the stall threshold) / kFailed (scheduler died, all
+  /// tickets cleanly rejected) / kShutdown, plus the executing batch's
+  /// age and the admission backlog.
+  ServerHealth health() const;
 
   std::size_t plan_count() const { return executor_.plan_count(); }
   std::size_t plan_arena_floats() const {
@@ -128,28 +203,59 @@ class Server {
     InferenceRequest request;
     std::promise<RequestResult> promise;
     std::chrono::steady_clock::time_point admitted;
+    Seconds deadline{};     ///< effective deadline (0 = none)
+    std::uint64_t seq = 0;  ///< admission sequence (oldest-pending ledger)
   };
 
   void scheduler_loop();
-  // `inflight` is ordered by admission index so its begin() is the oldest
-  // pending request — what the max_batch_wait age cut is measured against.
+  // `inflight` is ordered by claim index so its begin() is the oldest
+  // claimed request — what the max_batch_wait age cut is measured against.
   void run_batch(BatchPlanEntry entry,
                  std::map<std::size_t, Pending>& inflight);
+  /// The scheduler died: close admission, cleanly reject every in-flight
+  /// and still-queued ticket with `error`, mark health kFailed. Nothing
+  /// hangs; drain() returns.
+  void scheduler_failed(std::exception_ptr error,
+                        std::map<std::size_t, Pending>& inflight) noexcept;
+  void watchdog_loop();
+  void exec_begin(Seconds predicted);
+  void exec_end();
 
   ServerOptions opt_;
   BatchExecutor executor_;
-  /// Prices requests for the latency budget; null when the budget is off.
+  /// Prices requests for the latency budget, deadline slack, and the
+  /// watchdog stall threshold.
   std::unique_ptr<BatchCostModel> cost_model_;
-  ConcurrentQueue<Pending> queue_;
+  AdmissionQueue<Pending, kPriorityClasses> queue_;
 
-  mutable std::mutex state_mutex_;  ///< guards totals_/admitted_/completed_
+  mutable std::mutex state_mutex_;  ///< guards the ledger below
   std::condition_variable drained_cv_;
   RuntimeTotals totals_;
+  ClassStats class_stats_[kPriorityClasses];
   std::size_t admitted_ = 0;
   std::size_t completed_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// Admission time of every admitted-but-unresolved request, keyed by
+  /// admission sequence — begin() is the oldest (stats/health age).
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point>
+      outstanding_;
+  bool failed_ = false;  ///< scheduler died; health() reports kFailed
+
+  // Watchdog: the scheduler stamps the executing batch here; the watchdog
+  // thread compares its age against the cost-model stall threshold.
+  mutable std::mutex watch_mutex_;
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;
+  bool exec_active_ = false;
+  bool stall_flagged_ = false;  ///< this episode already counted
+  std::chrono::steady_clock::time_point exec_start_;
+  Seconds exec_predicted_{};
+  std::atomic<bool> stalled_now_{false};
+  std::atomic<std::int64_t> watchdog_stalls_{0};
 
   std::mutex shutdown_mutex_;  ///< serializes shutdown()/~Server
   std::thread scheduler_;
+  std::thread watchdog_;
 };
 
 }  // namespace swat

@@ -1,0 +1,124 @@
+// Serving-side observability types: SLO classes, per-class counters, and
+// the server health snapshot.
+//
+// Under overload a server must decide WHICH work to drop and WHEN a
+// request is already hopeless — and it must be able to show its work.
+// This header is the vocabulary for both decisions:
+//
+//   * Priority — the SLO class a request is admitted under. kInteractive
+//     is drained first by the scheduler; kBulk rides along and is the
+//     class shed under OverflowPolicy::kShedBulk. Aging guarantees bulk is
+//     never starved entirely (ServerOptions::bulk_aging_interval).
+//   * DeadlineExceeded — the exception a ticket resolves with when the
+//     cost model predicts (or observation confirms) the request cannot
+//     meet its deadline, thrown BEFORE compute is spent on it.
+//   * ClassStats / ServerStats — cumulative counters per class plus queue
+//     depth and oldest-pending age; Server::stats() snapshots them.
+//     Conservation, per class: every submitted ticket lands in exactly one
+//     outcome bin, so at every snapshot
+//       submitted == served + shed + deadline_shed + failed + (in flight)
+//     `admitted` counts the subset that entered the admission queue
+//     (deadline sheds happen on both sides of it: at submit when the
+//     prediction alone exceeds the deadline, at claim when waiting
+//     consumed the slack), and deadline_missed is a subset of served.
+//   * ServerHealth / HealthState — the watchdog's view: kStalled while a
+//     batch has overrun the cost-model stall threshold, kFailed once the
+//     scheduler died (every ticket was cleanly rejected, never hung),
+//     kShutdown after admission closed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace swat {
+
+/// The SLO class a request is admitted under.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,  ///< latency-sensitive; drained first, never shed first
+  kBulk = 1,         ///< throughput traffic; shed at the overload watermark
+};
+
+inline constexpr std::size_t kPriorityClasses = 2;
+
+constexpr const char* to_string(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "bulk";
+}
+
+/// What a ticket resolves with when its request cannot (or did not) meet
+/// its deadline and was failed before compute was spent on it.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cumulative per-class counters. Every submitted ticket lands in exactly
+/// one of: shed, deadline_shed, failed, or served (see the conservation
+/// identity in the header comment).
+struct ClassStats {
+  std::int64_t submitted = 0;  ///< submit() calls for this class
+  std::int64_t admitted = 0;   ///< entered the admission queue
+  std::int64_t served = 0;     ///< resolved with a result
+  /// Rejected at admission: queue full (kReject), over the bulk shed
+  /// watermark (kShedBulk), malformed input, or server shut down.
+  std::int64_t shed = 0;
+  /// Failed with DeadlineExceeded before compute was spent: the cost
+  /// model predicted the deadline unmeetable at submit (prediction alone
+  /// exceeds it — never admitted) or at claim (queueing ate the slack).
+  std::int64_t deadline_shed = 0;
+  /// Served, but the result arrived after the request's deadline — an SLO
+  /// violation that still returned an answer (a subset of served).
+  std::int64_t deadline_missed = 0;
+  /// Rejected after admission: the batch's executor failed (the exception
+  /// is on the ticket) or the scheduler discarded the backlog on failure.
+  std::int64_t failed = 0;
+};
+
+/// Snapshot of the server's cumulative serving ledger (Server::stats()).
+struct ServerStats {
+  ClassStats per_class[kPriorityClasses];
+  std::size_t queue_depth = 0;       ///< admitted, not yet claimed
+  Seconds oldest_pending_age{};      ///< oldest admitted-but-unresolved
+  std::int64_t batches = 0;          ///< batches successfully executed
+  std::int64_t watchdog_stalls = 0;  ///< distinct stall episodes flagged
+
+  const ClassStats& of(Priority p) const {
+    return per_class[static_cast<std::size_t>(p)];
+  }
+  ClassStats& of(Priority p) {
+    return per_class[static_cast<std::size_t>(p)];
+  }
+};
+
+enum class HealthState : std::uint8_t {
+  kHealthy,   ///< scheduler live, no overrunning batch
+  kStalled,   ///< the executing batch has overrun the watchdog threshold
+  kFailed,    ///< the scheduler died; all pending tickets were rejected
+  kShutdown,  ///< admission closed (shutdown() or destruction)
+};
+
+constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kStalled: return "stalled";
+    case HealthState::kFailed: return "failed";
+    case HealthState::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// The watchdog's liveness snapshot (Server::health()).
+struct ServerHealth {
+  HealthState state = HealthState::kHealthy;
+  std::int64_t watchdog_stalls = 0;  ///< distinct stall episodes so far
+  /// Age of the currently executing batch (zero when none is executing).
+  Seconds current_batch_age{};
+  Seconds oldest_pending_age{};
+  std::size_t queue_depth = 0;
+
+  bool ok() const { return state == HealthState::kHealthy; }
+};
+
+}  // namespace swat

@@ -39,6 +39,13 @@
 // the numbers that show interactive latency holding its budget at 4x
 // while bulk absorbs the shedding.
 //
+// The REPLICA-SCALING sweep reruns the same open-loop overload shape with
+// the server's engine-replica pool at 1/2/4 replicas (one shared
+// read-only weight pack, replica_queue_depth=1 so dispatch pipelines and
+// stealing is live), reporting aggregate goodput, goodput speedup vs one
+// replica at the same offered load, and per-class p50/p99 turnaround —
+// the goodput-vs-replicas scaling column is the headline.
+//
 // Usage: server_throughput [--smoke] [--out <path>]
 #include <algorithm>
 #include <chrono>
@@ -83,6 +90,19 @@ struct ArmResult {
   double p99_queue_ms = 0.0;
   double tokens_per_s = 0.0;
   std::int64_t batches = 0;
+};
+
+/// One (replica count, offered load) cell of the replica-scaling sweep.
+struct ReplicaSweepResult {
+  std::size_t replicas = 1;
+  double intensity_rel = 0.0;
+  std::int64_t served = 0;
+  double goodput_per_s = 0.0;   ///< aggregate served requests / makespan
+  double goodput_speedup = 0.0; ///< vs the 1-replica cell at this load
+  double interactive_p50_ms = 0.0;
+  double interactive_p99_ms = 0.0;
+  double bulk_p50_ms = 0.0;
+  double bulk_p99_ms = 0.0;
 };
 
 /// One (offered load, SLO class) cell of the overload sweep.
@@ -347,6 +367,115 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- replica-scaling sweep: the open-loop overload shape, served by
+  // 1/2/4 engine replicas behind one admission queue. The workload is its
+  // own: MANY SHORT requests, the saturation regime the pool exists for —
+  // per-request service is small, so one engine's batch-at-a-time cadence
+  // (claim, execute, retire, wake the dispatcher) is the bottleneck and
+  // concurrent replicas pipeline past it; short requests also spawn few
+  // fork-join tasks each, so on multi-core hosts a single replica
+  // underfills the thread pool and the replica count decides utilization.
+  // Replicas share one read-only weight pack (memory stays 1x) and the
+  // dispatcher may claim ahead two batches per replica
+  // (replica_queue_depth=2) so batch formation pipelines with execution
+  // and work stealing is live. The column that matters is aggregate
+  // goodput vs replica count at saturating load.
+  const std::int64_t sweep_count = smoke ? 32 : 96;
+  const std::vector<std::int64_t> sweep_lengths = {8, 16, 24, 12};
+  swat::Rng sweep_rng(3030);
+  std::vector<InferenceRequest> sweep_requests;
+  for (std::int64_t i = 0; i < sweep_count; ++i) {
+    InferenceRequest req;
+    req.id = static_cast<std::uint64_t>(10000 + i);
+    const std::int64_t len =
+        sweep_lengths[static_cast<std::size_t>(i) % sweep_lengths.size()];
+    req.input = swat::random_normal(len, cfg.d_model, sweep_rng);
+    sweep_requests.push_back(std::move(req));
+  }
+  // Calibrate the sweep's own sequential service rate (short requests
+  // serve much faster than the main pool's).
+  const auto sweep_calib_start = Clock::now();
+  for (const InferenceRequest& req : sweep_requests) {
+    (void)encoder.forward(req.input);
+  }
+  const double sweep_service_rps =
+      static_cast<double>(sweep_count) /
+      std::chrono::duration<double>(Clock::now() - sweep_calib_start).count();
+  const double sweep_deadline_s = std::max(0.1, 8.0 / sweep_service_rps);
+
+  std::vector<ReplicaSweepResult> replica_sweep;
+  for (const double rel : overload_intensities) {
+    double base_goodput = 0.0;
+    for (const std::size_t replicas : {1u, 2u, 4u}) {
+      swat::Rng arrival_rng(4321 + static_cast<std::uint64_t>(rel * 1000.0));
+      std::vector<double> arrival(sweep_requests.size());
+      double t = 0.0;
+      for (double& a : arrival) {
+        t += -std::log(1.0 - arrival_rng.uniform(0.0, 1.0)) /
+             (rel * sweep_service_rps);
+        a = t;
+      }
+
+      swat::ServerOptions opt;
+      // Singleton batches: each batch spawns only `heads` fork-join tasks,
+      // so a single replica underfills a multi-core pool and the replica
+      // count — not the batch width — decides machine utilization. This is
+      // the regime the pool exists for; on hosts with fewer cores than
+      // SWAT_THREADS the speedup column honestly reads ~1x.
+      opt.batching.max_batch_requests = 1;
+      opt.admission = swat::OverflowPolicy::kShedBulk;
+      opt.queue_capacity = 16;
+      opt.shed_watermark = 0.75;
+      opt.num_replicas = replicas;
+      opt.share_weight_pack = replicas > 1;
+      opt.replica_queue_depth = 2;
+      Server server(cfg, opt);
+
+      std::vector<Server::Ticket> tickets(sweep_requests.size());
+      const auto start = Clock::now();
+      for (std::size_t i = 0; i < sweep_requests.size(); ++i) {
+        const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(arrival[i]));
+        std::this_thread::sleep_until(due);
+        InferenceRequest req = sweep_requests[i];  // copy: the pool is reused
+        req.priority = (i % 2 == 0) ? swat::Priority::kInteractive
+                                    : swat::Priority::kBulk;
+        if (req.priority == swat::Priority::kInteractive) {
+          req.deadline = swat::Seconds{sweep_deadline_s};
+        }
+        tickets[i] = server.submit(std::move(req));
+      }
+      std::vector<double> turnaround_ms[2];
+      std::int64_t served = 0;
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        try {
+          const RequestResult res = tickets[i].get();
+          turnaround_ms[i % 2].push_back(res.counters.turnaround.value * 1e3);
+          ++served;
+        } catch (const std::exception&) {
+          // shed at admission or by deadline — ledgered in server.stats()
+        }
+      }
+      const double makespan =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      server.drain();
+
+      ReplicaSweepResult row;
+      row.replicas = replicas;
+      row.intensity_rel = rel;
+      row.served = served;
+      row.goodput_per_s = static_cast<double>(served) / makespan;
+      if (replicas == 1) base_goodput = row.goodput_per_s;
+      row.goodput_speedup =
+          base_goodput > 0.0 ? row.goodput_per_s / base_goodput : 0.0;
+      row.interactive_p50_ms = percentile(turnaround_ms[0], 0.5);
+      row.interactive_p99_ms = percentile(turnaround_ms[0], 0.99);
+      row.bulk_p50_ms = percentile(turnaround_ms[1], 0.5);
+      row.bulk_p99_ms = percentile(turnaround_ms[1], 0.99);
+      replica_sweep.push_back(row);
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "error: cannot open " << out_path << " for writing\n";
@@ -390,6 +519,23 @@ int main(int argc, char** argv) {
         << ", \"p99_turnaround_ms\": " << o.p99_turnaround_ms << "}"
         << (i + 1 < overload.size() ? "," : "") << "\n";
   }
+  out << "  ],\n"
+      << "  \"replica_sweep_requests\": " << sweep_count << ",\n"
+      << "  \"replica_sweep_service_rps\": " << sweep_service_rps << ",\n"
+      << "  \"replica_sweep\": [\n";
+  for (std::size_t i = 0; i < replica_sweep.size(); ++i) {
+    const ReplicaSweepResult& r = replica_sweep[i];
+    out << "    {\"replicas\": " << r.replicas
+        << ", \"intensity_rel\": " << r.intensity_rel
+        << ", \"served\": " << r.served
+        << ", \"goodput_per_s\": " << r.goodput_per_s
+        << ", \"goodput_speedup\": " << r.goodput_speedup
+        << ", \"interactive_p50_ms\": " << r.interactive_p50_ms
+        << ", \"interactive_p99_ms\": " << r.interactive_p99_ms
+        << ", \"bulk_p50_ms\": " << r.bulk_p50_ms
+        << ", \"bulk_p99_ms\": " << r.bulk_p99_ms << "}"
+        << (i + 1 < replica_sweep.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
 
   std::printf(
@@ -421,6 +567,20 @@ int main(int argc, char** argv) {
         static_cast<long long>(o.deadline_shed),
         static_cast<long long>(o.deadline_missed), o.goodput_per_s,
         o.p50_turnaround_ms, o.p99_turnaround_ms);
+  }
+  std::printf(
+      "\nreplica-scaling sweep (%lld short requests, seq service %.1f "
+      "req/s; kShedBulk, shared weight pack, singleton batches, "
+      "queue_depth 2)\n",
+      static_cast<long long>(sweep_count), sweep_service_rps);
+  std::printf("%6s %9s %6s %10s %8s %9s %9s %9s %9s\n", "load", "replicas",
+              "served", "goodput/s", "speedup", "int p50", "int p99",
+              "bulk p50", "bulk p99");
+  for (const ReplicaSweepResult& r : replica_sweep) {
+    std::printf("%5.1fx %9zu %6lld %10.1f %7.2fx %9.2f %9.2f %9.2f %9.2f\n",
+                r.intensity_rel, r.replicas, static_cast<long long>(r.served),
+                r.goodput_per_s, r.goodput_speedup, r.interactive_p50_ms,
+                r.interactive_p99_ms, r.bulk_p50_ms, r.bulk_p99_ms);
   }
   std::cout << "wrote " << out_path << "\n";
   return out ? 0 : 1;

@@ -61,7 +61,7 @@ def arm_label(arm):
     for key, value in arm.items():
         if not is_number(value):
             parts.append(f"{key}={value}")
-        elif key in ("threads", "intensity_rel", "batch_size"):
+        elif key in ("threads", "intensity_rel", "batch_size", "replicas"):
             parts.append(f"{key}={fmt(value)}")
     return ", ".join(parts) if parts else "-"
 

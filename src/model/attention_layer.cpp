@@ -62,6 +62,13 @@ std::size_t MultiHeadAttention::pack_weights() const {
          wv_.packed_weight().floats() + wo_.packed_weight().floats();
 }
 
+void MultiHeadAttention::share_packs_with(const MultiHeadAttention& proto) {
+  wq_.share_pack_with(proto.wq_);
+  wk_.share_pack_with(proto.wk_);
+  wv_.share_pack_with(proto.wv_);
+  wo_.share_pack_with(proto.wo_);
+}
+
 void MultiHeadAttention::attend_one_head_into(const attn::HeadInput& head,
                                               MatrixF& z) const {
   switch (backend_) {

@@ -137,6 +137,11 @@ class MultiHeadAttention {
   /// packs lazily on the hot path.
   std::size_t pack_weights() const;
 
+  /// Adopt `proto`'s packed projection panels (shared read-only pack for
+  /// engine replicas). Projections must have identical shapes; see
+  /// Linear::share_pack_with for the copy-on-write mutation contract.
+  void share_packs_with(const MultiHeadAttention& proto);
+
   AttentionBackend backend() const { return backend_; }
   std::int64_t num_heads() const { return num_heads_; }
   std::int64_t head_dim() const { return d_model_ / num_heads_; }

@@ -143,6 +143,12 @@ std::size_t EncoderLayer::pack_weights() const {
          ffn2_.packed_weight().floats();
 }
 
+void EncoderLayer::share_packs_with(const EncoderLayer& proto) {
+  mha_.share_packs_with(proto.mha_);
+  ffn1_.share_pack_with(proto.ffn1_);
+  ffn2_.share_pack_with(proto.ffn2_);
+}
+
 Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
   Rng rng(cfg_.weight_seed);
@@ -202,6 +208,13 @@ std::size_t Encoder::pack_weights() const {
   std::size_t floats = 0;
   for (const auto& layer : layers_) floats += layer->pack_weights();
   return floats;
+}
+
+void Encoder::share_packs_with(const Encoder& proto) {
+  SWAT_EXPECTS(layers_.size() == proto.layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l]->share_packs_with(*proto.layers_[l]);
+  }
 }
 
 Bytes Encoder::last_swat_traffic() const {

@@ -90,6 +90,10 @@ class EncoderLayer {
   /// returns the packed floats. See Encoder::pack_weights.
   std::size_t pack_weights() const;
 
+  /// Adopt `proto`'s packed panels for every Linear in the layer. See
+  /// Encoder::share_packs_with.
+  void share_packs_with(const EncoderLayer& proto);
+
  private:
   MultiHeadAttention mha_;
   LayerNorm norm1_;
@@ -144,6 +148,17 @@ class Encoder {
   /// this so the serving hot path never packs lazily; the allocating
   /// Encoder paths pack on first forward instead.
   std::size_t pack_weights() const;
+
+  /// Adopt `proto`'s packed panel-major weights across the whole stack —
+  /// the replica pool's shared read-only pack. `proto` must have the same
+  /// layer geometry (same EncoderConfig shape); numerically this is only
+  /// meaningful when the weights are identical too (same weight_seed),
+  /// which Engine's prototype constructor enforces. Packs `proto` first if
+  /// needed. Mutating weights on either encoder afterwards detaches that
+  /// layer into a private pack (copy-on-write) — shared panels are never
+  /// written through.
+  void share_packs_with(const Encoder& proto);
+
   const EncoderLayer& layer(int i) const {
     SWAT_EXPECTS(i >= 0 && i < static_cast<int>(layers_.size()));
     return *layers_[static_cast<std::size_t>(i)];

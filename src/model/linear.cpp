@@ -24,11 +24,25 @@ MatrixF Linear::forward(const MatrixF& x) const {
 }
 
 const PackedWeight& Linear::packed_weight() const {
-  if (packed_dirty_) {
-    pack_weight_nt(weight_, packed_);
+  if (packed_dirty_ || !packed_) {
+    // Detach-on-write: always build into a fresh pack. If the previous
+    // pack is shared with another Linear (share_pack_with), that copy
+    // stays valid and untouched — only this layer moves to the new one.
+    auto fresh = std::make_shared<PackedWeight>();
+    pack_weight_nt(weight_, *fresh);
+    packed_ = std::move(fresh);
     packed_dirty_ = false;
   }
-  return packed_;
+  return *packed_;
+}
+
+void Linear::share_pack_with(const Linear& proto) {
+  SWAT_EXPECTS(&proto != this);
+  SWAT_EXPECTS(proto.in_features() == in_features() &&
+               proto.out_features() == out_features());
+  proto.packed_weight();  // ensure the prototype's pack exists and is fresh
+  packed_ = proto.packed_;
+  packed_dirty_ = false;
 }
 
 void Linear::forward_into(const MatrixF& x, MatrixF& y) const {

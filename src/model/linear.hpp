@@ -8,6 +8,8 @@
 // elsewhere).
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
@@ -61,6 +63,18 @@ class Linear {
   /// packed footprint.
   const PackedWeight& packed_weight() const;
 
+  /// Adopt `proto`'s packed panels instead of building our own — the
+  /// replica pool's opt-in shared read-only pack. Preconditions: identical
+  /// in/out features. The shared pack is immutable by construction:
+  /// weight() mutation on either side detaches into a fresh private pack
+  /// on the next packed_weight() (copy-on-write), never writes through the
+  /// shared pointer. Packs `proto` first if it was still stale.
+  void share_pack_with(const Linear& proto);
+
+  /// True when this layer streams another layer's pack (introspection for
+  /// footprint accounting and tests).
+  bool pack_is_shared() const { return packed_ && packed_.use_count() > 1; }
+
   /// Parameter count (weights + biases).
   std::int64_t parameters() const {
     return weight_.size() + static_cast<std::int64_t>(bias_.size());
@@ -71,10 +85,13 @@ class Linear {
   std::vector<float> bias_;
   // Panel-major pack of W^T streamed by gemm_packed (tensor/kernels.hpp) so
   // forward() neither re-transposes nor re-walks the row-major weight per
-  // call. Rebuilt lazily after weight() mutation; forward() stays logically
+  // call. Held behind a shared_ptr-to-const so engine replicas can adopt
+  // one read-only pack (share_pack_with); mutation always detaches into a
+  // freshly built pack rather than writing through the shared pointer.
+  // Rebuilt lazily after weight() mutation; forward() stays logically
   // const but is therefore not safe to call concurrently on one Linear
   // instance.
-  mutable PackedWeight packed_;
+  mutable std::shared_ptr<const PackedWeight> packed_;
   mutable bool packed_dirty_ = true;
 };
 

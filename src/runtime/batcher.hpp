@@ -103,7 +103,11 @@ struct BatchPlanEntry {
 /// push()/flush() calls and the options — no clocks, no thread count. The
 /// executor guarantees per-request outputs are bit-identical to a solo run
 /// for ANY formed batch, so scheduling policy affects latency only, never
-/// results.
+/// results. The same contract is what makes the replica pool sound: a cut
+/// batch is a closed unit of work whose result does not depend on WHICH
+/// engine replica executes it (or whether it was stolen), so the server's
+/// dispatcher is free to place each ready batch by cost
+/// (BatchCostModel::predict) alone.
 class BatchFormer {
  public:
   /// `cost_model`, when non-null, must outlive the former; it prices

@@ -37,6 +37,16 @@ class BatchCostModel {
   /// occupancy of a batch is additive in its members.
   Seconds batch_seconds(const BatchPlanEntry& entry) const;
 
+  /// The dispatch-side load estimate for a formed batch: what the replica
+  /// pool charges a replica's backlog when the batch is placed on it, and
+  /// credits back when the batch retires. An alias of batch_seconds —
+  /// named separately so "predict the cost of placing this batch" has one
+  /// spelling at the dispatch call sites (Server's replica pool, work
+  /// stealing, watchdog thresholds).
+  Seconds predict(const BatchPlanEntry& entry) const {
+    return batch_seconds(entry);
+  }
+
   /// Deadline slack for a request that has already waited `waited` of its
   /// `deadline`: deadline - waited - request_seconds(seq_len). A
   /// non-positive slack means the request cannot meet its deadline even if

@@ -1,5 +1,7 @@
 #include "runtime/engine.hpp"
 
+#include <stdexcept>
+
 namespace swat {
 
 // EncoderConfig::validate runs inside the Encoder constructor, before any
@@ -10,6 +12,25 @@ namespace swat {
 Engine::Engine(model::EncoderConfig cfg)
     : encoder_(std::move(cfg)),
       packed_weight_floats_(encoder_.pack_weights()) {}
+
+Engine::Engine(model::EncoderConfig cfg, const Engine& pack_prototype)
+    : encoder_(std::move(cfg)) {
+  const model::EncoderConfig& mine = encoder_.config();
+  const model::EncoderConfig& theirs = pack_prototype.encoder_.config();
+  // Sharing panels is only sound when the weights are bit-identical —
+  // which they are exactly when the shape and the seed that generated
+  // them agree. Anything else would silently serve the prototype's model.
+  if (mine.d_model != theirs.d_model || mine.num_heads != theirs.num_heads ||
+      mine.ffn_mult != theirs.ffn_mult || mine.layers != theirs.layers ||
+      mine.weight_seed != theirs.weight_seed) {
+    throw std::invalid_argument(
+        "Engine: shared weight pack requires an identical model "
+        "(d_model/num_heads/ffn_mult/layers/weight_seed must all match the "
+        "prototype engine)");
+  }
+  encoder_.share_packs_with(pack_prototype.encoder_);
+  packed_weight_floats_ = 0;  // footprint lives on the prototype
+}
 
 Engine Engine::compile(model::EncoderConfig cfg, std::int64_t max_tokens) {
   Engine engine(std::move(cfg));

@@ -84,6 +84,17 @@ class Engine {
   /// Validates `cfg` like compile().
   explicit Engine(model::EncoderConfig cfg);
 
+  /// An engine that builds its own weights but adopts `pack_prototype`'s
+  /// packed panel-major weight pack instead of packing a private copy —
+  /// the replica pool's shared read-only pack
+  /// (ServerOptions::share_weight_pack). Requires `cfg` to produce weights
+  /// bit-identical to the prototype's (same d_model / num_heads / ffn_mult
+  /// / layers / weight_seed; throws std::invalid_argument otherwise), so
+  /// sharing panels cannot change results. packed_weight_floats() reports
+  /// 0 for a sharing engine — the footprint is attributed to the
+  /// prototype, which must outlive every run() on this engine.
+  Engine(model::EncoderConfig cfg, const Engine& pack_prototype);
+
   /// Compile an engine: validate `cfg`, build the encoder weights, and
   /// bind the default plan for packed batches of up to `max_tokens` rows.
   static Engine compile(model::EncoderConfig cfg, std::int64_t max_tokens);

@@ -75,6 +75,12 @@ BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching)
       batching_((batching.validate(), batching)),
       cache_(engine_, batching.bucket_width, batching.max_batch_tokens) {}
 
+BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
+                             const BatchExecutor& pack_prototype)
+    : engine_(std::move(cfg), pack_prototype.engine_),
+      batching_((batching.validate(), batching)),
+      cache_(engine_, batching.bucket_width, batching.max_batch_tokens) {}
+
 std::vector<RequestResult> BatchExecutor::execute(
     const BatchPlanEntry& entry,
     std::span<const InferenceRequest* const> inputs) {

@@ -151,6 +151,15 @@ class BatchExecutor {
   /// Validates the config (via Engine) and the batching options.
   BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching);
 
+  /// An executor whose engine adopts `pack_prototype`'s packed weight pack
+  /// instead of building a private copy (the replica pool's opt-in shared
+  /// read-only pack; see Engine's prototype constructor for the identity
+  /// requirements). The prototype must outlive this executor;
+  /// packed_weight_floats() reports 0 here, the footprint being the
+  /// prototype's.
+  BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
+                const BatchExecutor& pack_prototype);
+
   /// Execute one formed batch. `inputs[i]` is the request packed at entry
   /// slot i (rows [entry.offsets[i], entry.offsets[i+1]) — its row count
   /// must match). Returns one result per slot with id, output, and

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault_injection.hpp"
 
 namespace swat {
 
@@ -79,14 +79,47 @@ void ServerOptions::validate() const {
         "floor added to the stall threshold), got " +
         std::to_string(watchdog_grace.value));
   }
+  if (num_replicas < 1 || num_replicas > 256) {
+    throw std::invalid_argument(
+        "ServerOptions: num_replicas must be in [1, 256] — the pool needs "
+        "at least one engine replica, and more replicas than any host this "
+        "serves has core groups is a configuration error — got " +
+        std::to_string(num_replicas));
+  }
+  if (replica_queue_depth > 64) {
+    throw std::invalid_argument(
+        "ServerOptions: replica_queue_depth must be <= 64 — 0 dispatches "
+        "only to idle replicas (the single-engine claim order), small "
+        "depths pipeline dispatch with execution; claiming dozens of "
+        "batches ahead per replica would just defeat class-aware "
+        "admission — got " +
+        std::to_string(replica_queue_depth));
+  }
 }
 
 Server::Server(model::EncoderConfig cfg, ServerOptions opt)
     : opt_((opt.validate(), opt)),
-      executor_(cfg, opt.batching),
       cost_model_(std::make_unique<BatchCostModel>(cfg)),
       queue_(opt.queue_capacity, opt.admission, shed_watermark_slots(opt),
              opt.bulk_aging_interval) {
+  replicas_.reserve(opt_.num_replicas);
+  for (std::size_t r = 0; r < opt_.num_replicas; ++r) {
+    auto replica = std::make_unique<Replica>();
+    if (r == 0 || !opt_.share_weight_pack) {
+      replica->executor = std::make_unique<BatchExecutor>(cfg, opt_.batching);
+    } else {
+      // Replica 0 is the pack prototype: replicas 1..N-1 stream its
+      // read-only panels instead of packing private copies.
+      replica->executor = std::make_unique<BatchExecutor>(
+          cfg, opt_.batching, *replicas_.front()->executor);
+    }
+    replicas_.push_back(std::move(replica));
+  }
+  replica_stats_.resize(opt_.num_replicas);
+  live_replicas_ = opt_.num_replicas;
+  for (std::size_t r = 0; r < opt_.num_replicas; ++r) {
+    replicas_[r]->worker = std::thread([this, r] { replica_loop(r); });
+  }
   if (opt_.watchdog_multiplier > 0.0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
@@ -225,7 +258,18 @@ void Server::drain() {
 void Server::shutdown() {
   std::lock_guard lock(shutdown_mutex_);
   queue_.close();
+  // Order matters: the scheduler drains the admission queue and places
+  // every remaining batch first; only then may the workers be told to
+  // exit once their queues run dry — every admitted ticket resolves.
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    std::lock_guard pool_lock(pool_mutex_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& replica : replicas_) {
+    if (replica->worker.joinable()) replica->worker.join();
+  }
   {
     std::lock_guard watch_lock(watch_mutex_);
     watch_stop_ = true;
@@ -247,11 +291,18 @@ ServerStats Server::stats() const {
     for (std::size_t i = 0; i < kPriorityClasses; ++i) {
       stats.per_class[i] = class_stats_[i];
     }
+    stats.replicas = replica_stats_;
     stats.batches = totals_.batches;
     if (!outstanding_.empty()) {
       stats.oldest_pending_age =
           Seconds{seconds_between(outstanding_.begin()->second, now)};
     }
+  }
+  // The stall counters live on the replicas as atomics (the watchdog
+  // bumps them without the ledger lock); overlay them onto the snapshot.
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    stats.replicas[r].watchdog_stalls =
+        replicas_[r]->stalls.load(std::memory_order_relaxed);
   }
   stats.queue_depth = queue_.size();
   stats.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
@@ -270,21 +321,75 @@ ServerHealth Server::health() const {
           Seconds{seconds_between(outstanding_.begin()->second, now)};
     }
   }
+  health.replicas.resize(replicas_.size());
   {
     std::lock_guard lock(watch_mutex_);
-    if (exec_active_) {
-      health.current_batch_age = Seconds{seconds_between(exec_start_, now)};
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (!replicas_[r]->exec_active) continue;
+      const Seconds age{seconds_between(replicas_[r]->exec_start, now)};
+      health.replicas[r].current_batch_age = age;
+      health.current_batch_age =
+          Seconds{std::max(health.current_batch_age.value, age.value)};
+    }
+  }
+  bool degraded = false;
+  {
+    std::lock_guard lock(pool_mutex_);
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (replicas_[r]->dead) {
+        health.replicas[r].state = HealthState::kFailed;
+        degraded = true;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    health.replicas[r].watchdog_stalls =
+        replicas_[r]->stalls.load(std::memory_order_relaxed);
+    if (health.replicas[r].state == HealthState::kHealthy &&
+        replicas_[r]->stalled_now.load(std::memory_order_relaxed)) {
+      health.replicas[r].state = HealthState::kStalled;
+      degraded = true;
     }
   }
   health.queue_depth = queue_.size();
   health.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+  // A dead or stalled replica degrades the pool (kStalled) while the
+  // survivors keep serving; kFailed is reserved for serving having
+  // stopped entirely.
   health.state = failed ? HealthState::kFailed
                  : queue_.closed()
                      ? HealthState::kShutdown
-                     : stalled_now_.load(std::memory_order_relaxed)
-                           ? HealthState::kStalled
-                           : HealthState::kHealthy;
+                     : degraded ? HealthState::kStalled
+                                : HealthState::kHealthy;
   return health;
+}
+
+std::size_t Server::plan_count() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->executor->plan_count();
+  }
+  return total;
+}
+
+std::size_t Server::plan_arena_floats() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->executor->plan_arena_floats();
+  }
+  return total;
+}
+
+std::size_t Server::packed_weight_floats() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->executor->packed_weight_floats();
+  }
+  return total;
+}
+
+const model::Encoder& Server::encoder() const {
+  return replicas_.front()->executor->encoder();
 }
 
 void Server::scheduler_loop() {
@@ -292,15 +397,21 @@ void Server::scheduler_loop() {
   std::map<std::size_t, Pending> inflight;
   std::size_t next_index = 0;
 
-  const auto run_ready = [&] {
-    while (former.has_ready()) run_batch(former.pop_ready(), inflight);
+  const auto dispatch_ready = [&] {
+    while (former.has_ready()) dispatch_batch(former.pop_ready(), inflight);
   };
 
   try {
     for (;;) {
       std::optional<std::pair<Pending, std::size_t>> claimed;
       if (former.pending_requests() == 0) {
-        claimed = queue_.pop();  // idle: park until work arrives or close
+        // Idle: park until work arrives — but only claim when the pool
+        // can actually take a batch. Claiming ahead of replica capacity
+        // would drain the class-aware admission queue into FIFO replica
+        // queues, silently erasing the interactive-first claim order and
+        // the watermark backpressure kShedBulk watches.
+        wait_for_dispatch_room();
+        claimed = queue_.pop();  // park until work arrives or close
         if (!claimed) break;     // closed and fully drained
       } else {
         claimed = queue_.try_pop();
@@ -357,47 +468,182 @@ void Server::scheduler_loop() {
         // idles on a partial batch only adds queue latency, never width.
         former.flush();
       }
-      run_ready();
+      dispatch_ready();
     }
-    // close() raced a final flush at most: cut and serve whatever remains
+    // close() raced a final flush at most: cut and place whatever remains
     // so every admitted ticket resolves.
     former.flush();
-    run_ready();
+    dispatch_ready();
     SWAT_ENSURES(inflight.empty());
   } catch (...) {
     // The scheduler itself died (e.g. an injected fault at the
-    // "queue.pop" or "batcher.push" crossing) — this thread is about to
-    // exit, so anything admitted would hang forever. Reject everything
-    // cleanly instead. Batch-level executor failures never reach here:
-    // run_batch contains them.
+    // "queue.pop", "batcher.push", or "dispatch.place" crossing, or the
+    // last replica dying under it) — this thread is about to exit, so
+    // anything admitted would hang forever. Reject everything cleanly
+    // instead. Batch-level executor failures never reach here:
+    // run_on_replica contains them on the worker threads.
     scheduler_failed(std::current_exception(), inflight);
   }
 }
 
-void Server::run_batch(BatchPlanEntry entry,
-                       std::map<std::size_t, Pending>& inflight) {
-  const std::size_t n = entry.request_indices.size();
-  const std::size_t lane = static_cast<std::size_t>(entry.priority);
-  const auto start = std::chrono::steady_clock::now();
+bool Server::replica_has_room(const Replica& r) const {
+  if (r.dead) return false;
+  if (!r.executing && r.queue.empty()) return true;
+  return r.queue.size() < opt_.replica_queue_depth;
+}
 
-  std::vector<Pending> members;
-  std::vector<const InferenceRequest*> inputs;
-  members.reserve(n);
-  inputs.reserve(n);
+void Server::wait_for_dispatch_room() {
+  std::unique_lock lock(pool_mutex_);
+  pool_cv_.wait(lock, [&] {
+    if (live_replicas_ == 0) return true;  // dispatch_batch will report it
+    for (const auto& replica : replicas_) {
+      if (replica_has_room(*replica)) return true;
+    }
+    return false;
+  });
+}
+
+void Server::dispatch_batch(BatchPlanEntry entry,
+                            std::map<std::size_t, Pending>& inflight) {
+  // Resilience hook: a throw at this crossing is scheduler-fatal (the
+  // dispatcher itself broke, not one replica) — the batch's members are
+  // still in `inflight`, so scheduler_failed rejects them cleanly.
+  SWAT_FAULT_POINT("dispatch.place");
+  ReadyBatch batch;
+  batch.predicted = cost_model_->predict(entry);
+  batch.members.reserve(entry.request_indices.size());
   for (const std::size_t index : entry.request_indices) {
     const auto it = inflight.find(index);
     SWAT_ENSURES(it != inflight.end());
-    members.push_back(std::move(it->second));
+    batch.members.push_back(std::move(it->second));
     inflight.erase(it);
   }
+  batch.entry = std::move(entry);
+  {
+    std::unique_lock lock(pool_mutex_);
+    pool_cv_.wait(lock, [&] {
+      if (live_replicas_ == 0) return true;
+      for (const auto& replica : replicas_) {
+        if (replica_has_room(*replica)) return true;
+      }
+      return false;
+    });
+    if (live_replicas_ == 0) {
+      // Total pool failure. Put the members back so scheduler_failed (in
+      // our caller's catch) rejects every one of them.
+      lock.unlock();
+      for (std::size_t i = 0; i < batch.members.size(); ++i) {
+        inflight.emplace(batch.entry.request_indices[i],
+                         std::move(batch.members[i]));
+      }
+      throw std::runtime_error(
+          "Server: every engine replica has failed — the pool cannot "
+          "execute further batches");
+    }
+    // Cost-model placement: the live replica with the smallest predicted
+    // backlog that has room; ties go to the lowest index.
+    Replica* target = nullptr;
+    for (const auto& replica : replicas_) {
+      if (!replica_has_room(*replica)) continue;
+      if (!target || replica->backlog_seconds < target->backlog_seconds) {
+        target = replica.get();
+      }
+    }
+    SWAT_ENSURES(target != nullptr);
+    target->backlog_seconds += batch.predicted.value;
+    target->queue.push_back(std::move(batch));
+  }
+  pool_cv_.notify_all();
+}
+
+void Server::replica_loop(std::size_t r) {
+  for (;;) {
+    std::optional<ReadyBatch> batch = next_batch(r);
+    if (!batch) return;
+    {
+      // Ledger the claim before the execution attempt: a replica dying
+      // with this batch in hand must still satisfy the per-replica
+      // conservation law (dispatched == served + failed + executing).
+      std::lock_guard lock(state_mutex_);
+      ReplicaStats& mine = replica_stats_[r];
+      mine.of(batch->entry.priority).dispatched += batch->entry.requests();
+      if (batch->stolen) ++mine.batches_stolen;
+    }
+    try {
+      // Resilience hook: a throw HERE — unlike one inside
+      // BatchExecutor::execute, which run_on_replica contains as a
+      // batch-level failure — kills the replica itself: quarantine, not
+      // batch retry, is the recovery.
+      SWAT_FAULT_POINT("replica.execute");
+      run_on_replica(r, *batch);
+    } catch (...) {
+      replica_failed(r, std::move(*batch), std::current_exception());
+      return;
+    }
+  }
+}
+
+std::optional<Server::ReadyBatch> Server::next_batch(std::size_t r) {
+  std::unique_lock lock(pool_mutex_);
+  Replica& self = *replicas_[r];
+  for (;;) {
+    if (self.dead) return std::nullopt;
+    if (!self.queue.empty()) {
+      ReadyBatch batch = std::move(self.queue.front());
+      self.queue.pop_front();
+      self.executing = true;
+      lock.unlock();
+      pool_cv_.notify_all();  // the dispatcher may have room now
+      return batch;
+    }
+    // Own queue dry: steal the NEWEST queued batch from the most
+    // backlogged live replica — newest so the victim keeps the batch it
+    // would start next (better locality with its executing work), most
+    // backlogged so stealing levels the cost-model load.
+    Replica* victim = nullptr;
+    for (const auto& other : replicas_) {
+      if (other.get() == &self || other->dead || other->queue.empty()) {
+        continue;
+      }
+      if (!victim || other->backlog_seconds > victim->backlog_seconds) {
+        victim = other.get();
+      }
+    }
+    if (victim) {
+      ReadyBatch batch = std::move(victim->queue.back());
+      victim->queue.pop_back();
+      victim->backlog_seconds =
+          std::max(0.0, victim->backlog_seconds - batch.predicted.value);
+      self.backlog_seconds += batch.predicted.value;
+      batch.stolen = true;
+      self.executing = true;
+      lock.unlock();
+      pool_cv_.notify_all();
+      return batch;
+    }
+    if (pool_stop_) return std::nullopt;
+    pool_cv_.wait(lock);
+  }
+}
+
+void Server::run_on_replica(std::size_t r, ReadyBatch& batch) {
+  const BatchPlanEntry& entry = batch.entry;
+  std::vector<Pending>& members = batch.members;
+  const std::size_t n = members.size();
+  const std::size_t lane = static_cast<std::size_t>(entry.priority);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<const InferenceRequest*> inputs;
+  inputs.reserve(n);
   for (const Pending& member : members) inputs.push_back(&member.request);
 
-  // Stamp the executing batch for the watchdog: it flags a stall once the
-  // batch's age exceeds grace + multiplier * this prediction.
-  exec_begin(cost_model_->batch_seconds(entry));
+  // Stamp this replica's watchdog slot: it flags a stall once the batch's
+  // age exceeds grace + multiplier * this prediction.
+  exec_begin(r, batch.predicted);
   try {
-    std::vector<RequestResult> results = executor_.execute(entry, inputs);
-    exec_end();
+    std::vector<RequestResult> results =
+        replicas_[r]->executor->execute(entry, inputs);
+    exec_end(r);
     const auto finish = std::chrono::steady_clock::now();
     std::int64_t batch_index = 0;
     {
@@ -426,23 +672,134 @@ void Server::run_batch(BatchPlanEntry entry,
       std::lock_guard lock(state_mutex_);
       class_stats_[lane].served += static_cast<std::int64_t>(n);
       class_stats_[lane].deadline_missed += missed;
+      ReplicaClassStats& mine = replica_stats_[r].per_class[lane];
+      mine.served += static_cast<std::int64_t>(n);
+      mine.deadline_missed += missed;
+      ++replica_stats_[r].batches;
       for (const Pending& member : members) outstanding_.erase(member.seq);
       completed_ += n;
     }
   } catch (...) {
-    exec_end();
-    // A failed batch fails every member ticket and ONLY them — the server
-    // keeps serving. Completed-or-rejected, never hung.
+    exec_end(r);
+    // A failed batch fails every member ticket and ONLY them — the
+    // replica keeps serving. Completed-or-rejected, never hung.
     for (Pending& member : members) {
       member.promise.set_exception(std::current_exception());
     }
     {
       std::lock_guard lock(state_mutex_);
       class_stats_[lane].failed += static_cast<std::int64_t>(n);
+      replica_stats_[r].per_class[lane].failed +=
+          static_cast<std::int64_t>(n);
       for (const Pending& member : members) outstanding_.erase(member.seq);
       completed_ += n;
     }
   }
+  retire_batch(r, batch);
+  drained_cv_.notify_all();
+}
+
+void Server::retire_batch(std::size_t r, const ReadyBatch& batch) {
+  {
+    std::lock_guard lock(pool_mutex_);
+    Replica& self = *replicas_[r];
+    self.executing = false;
+    self.backlog_seconds =
+        std::max(0.0, self.backlog_seconds - batch.predicted.value);
+  }
+  pool_cv_.notify_all();
+}
+
+void Server::replica_failed(std::size_t r, ReadyBatch batch,
+                            std::exception_ptr error) noexcept {
+  exec_end(r);
+  const std::size_t lane = static_cast<std::size_t>(batch.entry.priority);
+  // Reject exactly the batch this replica had claimed. run_on_replica may
+  // already have resolved the members on an unexpected late throw, so
+  // tolerate already-satisfied promises.
+  std::int64_t rejected = 0;
+  for (Pending& member : batch.members) {
+    try {
+      member.promise.set_exception(error);
+      ++rejected;
+    } catch (const std::future_error&) {
+    }
+  }
+  std::deque<ReadyBatch> orphaned;
+  std::size_t live = 0;
+  {
+    std::lock_guard lock(pool_mutex_);
+    Replica& self = *replicas_[r];
+    self.dead = true;
+    self.executing = false;
+    self.backlog_seconds = 0.0;
+    orphaned.swap(self.queue);
+    live = --live_replicas_;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    replica_stats_[r].quarantined = true;
+    if (rejected > 0) {
+      replica_stats_[r].per_class[lane].failed += rejected;
+      class_stats_[lane].failed += rejected;
+      for (const Pending& member : batch.members) {
+        outstanding_.erase(member.seq);
+      }
+      completed_ += static_cast<std::size_t>(rejected);
+    }
+  }
+  if (live > 0 && !orphaned.empty()) {
+    // Survivors inherit the dead replica's queued batches (placement by
+    // backlog again; room limits do not apply — this is already-claimed
+    // work, not new claim-ahead).
+    std::lock_guard lock(pool_mutex_);
+    if (live_replicas_ > 0) {
+      for (ReadyBatch& orphan : orphaned) {
+        Replica* target = nullptr;
+        for (const auto& replica : replicas_) {
+          if (replica->dead) continue;
+          if (!target || replica->backlog_seconds < target->backlog_seconds) {
+            target = replica.get();
+          }
+        }
+        target->backlog_seconds += orphan.predicted.value;
+        target->queue.push_back(std::move(orphan));
+      }
+      orphaned.clear();
+    }
+  }
+  if (live == 0 || !orphaned.empty()) {
+    // The last replica died (or the rest died while we redistributed):
+    // serving has stopped. Close admission and cleanly reject everything
+    // still pending — queued batches, then the admission backlog.
+    queue_.close();
+    std::vector<std::pair<Pending, std::size_t>> queued = queue_.discard();
+    std::lock_guard lock(state_mutex_);
+    failed_ = true;
+    for (ReadyBatch& orphan : orphaned) {
+      const std::size_t orphan_lane =
+          static_cast<std::size_t>(orphan.entry.priority);
+      for (Pending& member : orphan.members) {
+        try {
+          member.promise.set_exception(error);
+        } catch (const std::future_error&) {
+        }
+        ++class_stats_[orphan_lane].failed;
+        outstanding_.erase(member.seq);
+        ++completed_;
+      }
+    }
+    for (auto& [pending, pending_lane] : queued) {
+      try {
+        pending.promise.set_exception(error);
+      } catch (const std::future_error&) {
+      }
+      ++class_stats_[pending_lane].failed;
+      outstanding_.erase(pending.seq);
+      ++completed_;
+    }
+  }
+  pool_cv_.notify_all();
   drained_cv_.notify_all();
 }
 
@@ -452,7 +809,8 @@ void Server::scheduler_failed(std::exception_ptr error,
   // Close FIRST: push() checks closed_ under the queue mutex, so once
   // discard() has run nothing can land in the queue behind the dead
   // scheduler — a racing submit either beat the discard (rejected below)
-  // or sees kClosed and rejects its own ticket.
+  // or sees kClosed and rejects its own ticket. Batches already placed on
+  // replica queues are unaffected: the workers drain and resolve them.
   queue_.close();
   std::vector<std::pair<Pending, std::size_t>> queued = queue_.discard();
   for (auto& [index, pending] : inflight) {
@@ -480,23 +838,24 @@ void Server::scheduler_failed(std::exception_ptr error,
   drained_cv_.notify_all();
 }
 
-void Server::exec_begin(Seconds predicted) {
+void Server::exec_begin(std::size_t r, Seconds predicted) {
   {
     std::lock_guard lock(watch_mutex_);
-    exec_active_ = true;
-    stall_flagged_ = false;
-    exec_start_ = std::chrono::steady_clock::now();
-    exec_predicted_ = predicted;
+    Replica& self = *replicas_[r];
+    self.exec_active = true;
+    self.stall_flagged = false;
+    self.exec_start = std::chrono::steady_clock::now();
+    self.exec_predicted = predicted;
   }
 }
 
-void Server::exec_end() {
+void Server::exec_end(std::size_t r) {
   {
     std::lock_guard lock(watch_mutex_);
-    exec_active_ = false;
-    stall_flagged_ = false;
+    replicas_[r]->exec_active = false;
+    replicas_[r]->stall_flagged = false;
   }
-  stalled_now_.store(false, std::memory_order_relaxed);
+  replicas_[r]->stalled_now.store(false, std::memory_order_relaxed);
 }
 
 void Server::watchdog_loop() {
@@ -508,18 +867,25 @@ void Server::watchdog_loop() {
   for (;;) {
     watch_cv_.wait_for(lock, poll, [&] { return watch_stop_; });
     if (watch_stop_) return;
-    if (!exec_active_ || stall_flagged_) continue;
-    const double age =
-        seconds_between(exec_start_, std::chrono::steady_clock::now());
-    // The prediction is ACCELERATOR-model time — far below host wall time
-    // — so the grace floor dominates the threshold by design; the
-    // multiplier term only matters for genuinely enormous batches.
-    const double threshold = opt_.watchdog_grace.value +
-                             opt_.watchdog_multiplier * exec_predicted_.value;
-    if (age > threshold) {
-      stall_flagged_ = true;  // one stall episode, one count
-      stalled_now_.store(true, std::memory_order_relaxed);
-      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    // One scan covers every replica's slot: two simultaneously wedged
+    // replicas are two distinct stall episodes, each counted once.
+    for (const auto& replica : replicas_) {
+      Replica& rep = *replica;
+      if (!rep.exec_active || rep.stall_flagged) continue;
+      const double age = seconds_between(rep.exec_start, now);
+      // The prediction is ACCELERATOR-model time — far below host wall
+      // time — so the grace floor dominates the threshold by design; the
+      // multiplier term only matters for genuinely enormous batches.
+      const double threshold =
+          opt_.watchdog_grace.value +
+          opt_.watchdog_multiplier * rep.exec_predicted.value;
+      if (age > threshold) {
+        rep.stall_flagged = true;  // one stall episode, one count
+        rep.stalled_now.store(true, std::memory_order_relaxed);
+        rep.stalls.fetch_add(1, std::memory_order_relaxed);
+        watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 }

@@ -21,15 +21,23 @@
 //     (deadline sheds happen on both sides of it: at submit when the
 //     prediction alone exceeds the deadline, at claim when waiting
 //     consumed the slack), and deadline_missed is a subset of served.
+//   * ReplicaClassStats / ReplicaStats — the replica pool's half of the
+//     ledger: per-replica, per-class outcome counters obeying their own
+//     conservation identity (dispatched == served + failed + executing),
+//     and summing to the front-end totals for everything that reached a
+//     replica. ServerStats::replicas holds one per engine replica.
 //   * ServerHealth / HealthState — the watchdog's view: kStalled while a
-//     batch has overrun the cost-model stall threshold, kFailed once the
-//     scheduler died (every ticket was cleanly rejected, never hung),
-//     kShutdown after admission closed.
+//     batch has overrun the cost-model stall threshold OR the pool is
+//     degraded (a replica was quarantined but survivors keep serving),
+//     kFailed once the scheduler died or every replica died (every ticket
+//     was cleanly rejected, never hung), kShutdown after admission closed.
+//     ReplicaHealth is the per-replica entry in ServerHealth::replicas.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -76,9 +84,56 @@ struct ClassStats {
   std::int64_t failed = 0;
 };
 
+/// Per-class outcome counters for a single engine replica. Every request
+/// dispatched to a replica lands in exactly one bin, so at every snapshot
+///   dispatched == served + failed + (executing right now)
+/// and, summed over replicas, served/deadline_missed equal the front-end
+/// class counters (front-end `failed` may exceed the replica sum: requests
+/// rejected before reaching a replica — scheduler death, total pool
+/// failure — are charged to the front end only).
+struct ReplicaClassStats {
+  std::int64_t dispatched = 0;       ///< claimed off the replica's queue
+  std::int64_t served = 0;           ///< resolved with a result
+  std::int64_t deadline_missed = 0;  ///< served past deadline (⊆ served)
+  std::int64_t failed = 0;           ///< batch execution or replica death
+};
+
+/// One engine replica's slice of the serving ledger
+/// (ServerStats::replicas[i]).
+struct ReplicaStats {
+  ReplicaClassStats per_class[kPriorityClasses];
+  std::int64_t batches = 0;          ///< batches this replica executed
+  std::int64_t batches_stolen = 0;   ///< batches claimed from another queue
+  std::int64_t watchdog_stalls = 0;  ///< stall episodes on this replica
+  /// True once the replica died (its worker thread exited on an injected
+  /// or real failure); a quarantined replica takes no further batches.
+  bool quarantined = false;
+
+  const ReplicaClassStats& of(Priority p) const {
+    return per_class[static_cast<std::size_t>(p)];
+  }
+  ReplicaClassStats& of(Priority p) {
+    return per_class[static_cast<std::size_t>(p)];
+  }
+  std::int64_t dispatched() const {
+    return per_class[0].dispatched + per_class[1].dispatched;
+  }
+  std::int64_t served() const {
+    return per_class[0].served + per_class[1].served;
+  }
+  std::int64_t failed() const {
+    return per_class[0].failed + per_class[1].failed;
+  }
+  /// Requests claimed by this replica and not yet resolved either way.
+  std::int64_t in_flight() const {
+    return dispatched() - served() - failed();
+  }
+};
+
 /// Snapshot of the server's cumulative serving ledger (Server::stats()).
 struct ServerStats {
   ClassStats per_class[kPriorityClasses];
+  std::vector<ReplicaStats> replicas;  ///< one entry per engine replica
   std::size_t queue_depth = 0;       ///< admitted, not yet claimed
   Seconds oldest_pending_age{};      ///< oldest admitted-but-unresolved
   std::int64_t batches = 0;          ///< batches successfully executed
@@ -109,11 +164,27 @@ constexpr const char* to_string(HealthState s) {
   return "?";
 }
 
-/// The watchdog's liveness snapshot (Server::health()).
+/// One replica's liveness entry in ServerHealth::replicas. kFailed means
+/// this replica is quarantined (the pool may still be serving); kStalled
+/// means its current batch has overrun the watchdog threshold.
+struct ReplicaHealth {
+  HealthState state = HealthState::kHealthy;
+  /// Age of the batch this replica is executing (zero when idle).
+  Seconds current_batch_age{};
+  std::int64_t watchdog_stalls = 0;  ///< stall episodes on this replica
+
+  bool ok() const { return state == HealthState::kHealthy; }
+};
+
+/// The watchdog's liveness snapshot (Server::health()). The top-level
+/// state is the pool roll-up: kFailed only when serving stopped entirely
+/// (scheduler death or every replica dead); a quarantined replica or an
+/// overrunning batch degrades the pool to kStalled while survivors serve.
 struct ServerHealth {
   HealthState state = HealthState::kHealthy;
+  std::vector<ReplicaHealth> replicas;  ///< one entry per engine replica
   std::int64_t watchdog_stalls = 0;  ///< distinct stall episodes so far
-  /// Age of the currently executing batch (zero when none is executing).
+  /// Age of the oldest currently executing batch (zero when all idle).
   Seconds current_batch_age{};
   Seconds oldest_pending_age{};
   std::size_t queue_depth = 0;

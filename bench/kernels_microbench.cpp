@@ -129,8 +129,15 @@ struct BenchRow {
   double blocked_1t_s = 0;
   double blocked_mt_s = 0;
   float max_abs_diff = 0;  // kernel vs oracle
+  /// Packed-weight bytes streamed per invocation (0 for kernels with no
+  /// resident pack). Lets the summary derive the effective weight-stream
+  /// GB/s — the bandwidth the pack dtype halves.
+  double weight_bytes = 0;
 
   double gflops(double s) const { return flops / s / 1e9; }
+  double weight_gbps(double s) const {
+    return s > 0 ? weight_bytes / s / 1e9 : 0;
+  }
 };
 
 bool emit_json(const std::vector<BenchRow>& rows, const std::string& path,
@@ -150,6 +157,8 @@ bool emit_json(const std::vector<BenchRow>& rows, const std::string& path,
         << "\"gflops_kernel_mt\": " << r.gflops(r.blocked_mt_s) << ", "
         << "\"speedup_1t\": " << r.naive_s / r.blocked_1t_s << ", "
         << "\"speedup_mt\": " << r.naive_s / r.blocked_mt_s << ", "
+        << "\"weight_bytes\": " << r.weight_bytes << ", "
+        << "\"weight_gbps_1t\": " << r.weight_gbps(r.blocked_1t_s) << ", "
         << "\"max_abs_diff\": " << r.max_abs_diff << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -291,7 +300,38 @@ int main(int argc, char** argv) {
         swat::gemm_packed_into(a, packed, bias, c_packed);
       });
       r.max_abs_diff = swat::max_abs_diff(c_packed, c_base);
+      r.weight_bytes = static_cast<double>(packed.bytes());
       rows.push_back(r);
+
+      // The half-precision pack on the same shape, against the fp32 pack
+      // it replaces (explicitly named baseline): half the streamed weight
+      // bytes, fp32 accumulation throughout, and FMA contraction in the
+      // widened tile — the acceptance gate wants >= 1.2x on the FFN shape.
+      swat::PackedWeight packed_f16;
+      swat::pack_weight_nt(w, packed_f16, swat::Dtype::kFp16);
+      swat::MatrixF c_f16(sh.m, sh.n);
+      BenchRow h;
+      h.name = std::string("gemm_packed_f16_") + sh.tag + "_" +
+               std::to_string(sh.m) + "x" + std::to_string(sh.k) + "x" +
+               std::to_string(sh.n);
+      h.baseline = "gemm_packed_f32";
+      h.flops = r.flops;
+      h.weight_bytes = static_cast<double>(packed_f16.bytes());
+      swat::set_num_threads(1);
+      h.naive_s = best_time(reps, [&] {
+        swat::gemm_packed_into(a, packed, bias, c_packed);
+      });
+      h.blocked_1t_s = best_time(reps, [&] {
+        swat::gemm_packed_into(a, packed_f16, bias, c_f16);
+      });
+      swat::set_num_threads(pool_threads);
+      h.blocked_mt_s = best_time(reps, [&] {
+        swat::gemm_packed_into(a, packed_f16, bias, c_f16);
+      });
+      // fp16 rounds each weight once; the diff against the fp32 pack is
+      // the fidelity-budgeted rounding, not an implementation bug.
+      h.max_abs_diff = swat::max_abs_diff(c_f16, c_packed);
+      rows.push_back(h);
     }
   }
 

@@ -27,8 +27,11 @@ from pathlib import Path
 
 # gflops covers the kernel microbench's per-arm throughput columns
 # (gflops_naive / gflops_blocked_*), so the packed-GEMM and fused-attention
-# arms land in the headline table alongside their speedups.
-HEADLINE_MARKERS = ("_per_s", "speedup", "_ms", "_rps", "_tps", "gflops")
+# arms land in the headline table alongside their speedups. _gbps is the
+# effective weight-stream bandwidth column (weight_bytes / kernel time) the
+# packed-GEMM arms report — the number the fp16 pack halves the demand for.
+HEADLINE_MARKERS = ("_per_s", "speedup", "_ms", "_rps", "_tps", "gflops",
+                    "_gbps")
 
 
 def is_number(value):

@@ -21,6 +21,11 @@
    method of FaultInjector) — must be mentioned in docs/ARCHITECTURE.md:
    the failure semantics are a documented contract, same as the serving
    API itself.
+6. The compiled-engine surface (src/runtime/engine.hpp: every top-level
+   type and every public method of Engine and ExecutionPlan) must be
+   mentioned in docs/ARCHITECTURE.md — the plan/execute split and the
+   packed-weight footprint accessors (the precision knob's observable
+   surface) are documented contracts too.
 
 Exits non-zero with one line per violation.
 """
@@ -196,6 +201,27 @@ def check_resilience_api_mentions(errors):
                     f"`{name}` is not documented")
 
 
+def check_engine_api_mentions(errors):
+    """engine.hpp top-level types + Engine/ExecutionPlan public methods."""
+    header = REPO / "src" / "runtime" / "engine.hpp"
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not header.exists():
+        errors.append("src/runtime/engine.hpp is missing")
+        return
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+    header_text = header.read_text(encoding="utf-8")
+    names = set(TYPE_RE.findall(header_text))
+    names |= class_public_methods(header_text, "Engine")
+    names |= class_public_methods(header_text, "ExecutionPlan")
+    for name in sorted(names):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(
+                "docs/ARCHITECTURE.md: engine.hpp public API "
+                f"`{name}` is not documented")
+
+
 def check_server_api_mentions(errors):
     header = REPO / "src" / "runtime" / "server.hpp"
     arch = REPO / "docs" / "ARCHITECTURE.md"
@@ -221,12 +247,14 @@ def main():
     check_server_api_mentions(errors)
     check_kernels_api_mentions(errors)
     check_resilience_api_mentions(errors)
+    check_engine_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
               "all links resolve, architecture map covers src/, "
-              "server, kernel, stats and fault-injection APIs documented")
+              "server, kernel, engine, stats and fault-injection APIs "
+              "documented")
     return 1 if errors else 0
 
 

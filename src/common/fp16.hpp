@@ -13,6 +13,7 @@
 // and are themselves unit-tested against an exhaustive 16-bit sweep.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -24,6 +25,22 @@ std::uint16_t f32_to_f16_bits(float f);
 
 /// Convert a binary16 bit pattern to the exactly-representable binary32.
 float f16_bits_to_f32(std::uint16_t h);
+
+/// Widen `n` binary16 bit patterns to binary32, element-identical to calling
+/// the scalar `f16_bits_to_f32` on every element (including NaN payloads —
+/// the hardware F16C path quiets signalling NaNs, so those lanes are patched
+/// back to the scalar result). This is the panel-decode primitive of the
+/// half-precision packed-weight path; on F16C hosts it runs 8 lanes per
+/// `vcvtph2ps`, elsewhere it falls back to the scalar routine.
+void f16_bits_to_f32_batch(const std::uint16_t* src, float* dst,
+                           std::size_t n);
+
+/// Narrow `n` binary32 values to binary16 bit patterns, element-identical to
+/// the scalar `f32_to_f16_bits` (RNE everywhere; NaN lanes are patched so the
+/// canonical scalar payload is produced rather than the hardware one). Used
+/// once per weight matrix at pack time.
+void f32_to_f16_bits_batch(const float* src, std::uint16_t* dst,
+                           std::size_t n);
 
 /// Value type wrapping one binary16 number.
 ///

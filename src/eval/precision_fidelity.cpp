@@ -1,0 +1,72 @@
+#include "eval/precision_fidelity.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/rng.hpp"
+#include "eval/calibration.hpp"
+#include "runtime/engine.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::eval {
+
+PrecisionFidelityResult precision_fidelity(model::EncoderConfig cfg,
+                                           std::int64_t seq_len,
+                                           std::uint64_t input_seed) {
+  model::EncoderConfig ref_cfg = cfg;
+  ref_cfg.pack_dtype = Dtype::kFp32;
+  model::EncoderConfig half_cfg = cfg;
+  half_cfg.pack_dtype = Dtype::kFp16;
+
+  // Same weight_seed on both sides: pack_dtype consumes no Rng draws, so
+  // the fp32 master weights are bit-identical and every measured delta is
+  // panel rounding, nothing else.
+  const model::Encoder reference(ref_cfg);
+  const model::Encoder method(half_cfg);
+
+  Rng rng(input_seed);
+  const MatrixF input = random_normal(seq_len, cfg.d_model, rng);
+
+  PrecisionFidelityResult result;
+  result.layer_budget = calib::kFp16LayerRelErrBudget;
+  result.end_to_end_budget =
+      static_cast<double>(cfg.layers) * calib::kFp16EndToEndRelErrPerLayer;
+
+  // Teacher-forced sweep: both layers see the fp32 reference trajectory,
+  // so each comparison isolates one layer's pack rounding.
+  result.per_layer.reserve(static_cast<std::size_t>(cfg.layers));
+  MatrixF x = input;
+  for (int i = 0; i < cfg.layers; ++i) {
+    const MatrixF y_ref = reference.layer(i).forward(x);
+    const MatrixF y_half = method.layer(i).forward(x);
+    LayerPrecision layer;
+    layer.cosine = mean_row_cosine(y_half, y_ref);
+    layer.rel_error = relative_error(y_half, y_ref);
+    result.worst_layer_rel_error =
+        std::max(result.worst_layer_rel_error, layer.rel_error);
+    result.worst_layer_cosine =
+        std::min(result.worst_layer_cosine, layer.cosine);
+    result.per_layer.push_back(layer);
+    x = y_ref;
+  }
+
+  // Free-running end to end: the compiled fp16 engine (the path serving
+  // actually runs) against the fp32 oracle.
+  Engine engine = Engine::compile(half_cfg, seq_len);
+  const std::array<std::int64_t, 2> offsets{0, seq_len};
+  const MatrixF& out_half = engine.run(input, offsets);
+  const MatrixF out_ref = reference.forward(input);
+  result.end_to_end_rel_error = relative_error(out_half, out_ref);
+  result.end_to_end_cosine = mean_row_cosine(out_half, out_ref);
+
+  result.within_budget =
+      result.worst_layer_rel_error <= result.layer_budget &&
+      result.worst_layer_cosine >=
+          calib::fp16_cosine_floor(result.layer_budget) &&
+      result.end_to_end_rel_error <= result.end_to_end_budget &&
+      result.end_to_end_cosine >=
+          calib::fp16_cosine_floor(result.end_to_end_budget);
+  return result;
+}
+
+}  // namespace swat::eval

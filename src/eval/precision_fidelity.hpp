@@ -1,0 +1,68 @@
+// Precision-fidelity harness for half-precision packed weights.
+//
+// The fp16 pack (EncoderConfig::pack_dtype = Dtype::kFp16) trades oracle
+// bit-parity for halved weight-stream bytes: every packed panel absorbs one
+// binary16 rounding at pack time, and the packed GEMM widens panels back to
+// fp32 on load, keeping every accumulator fp32. Outputs stay deterministic
+// (bit-identical across SWAT_THREADS, arrival orders, and runs) but differ
+// from the fp32 pack by a bounded rounding perturbation. This harness
+// measures that perturbation the same way attention/fidelity.* measures
+// mixing fidelity — cosine and Frobenius relative error against the fp32
+// reference — and compares it to the calibrated budget
+// (calib::kFp16LayerRelErrBudget and friends), which the precision test
+// enforces as a gate.
+//
+// Two comparisons, mirroring the teacher-forced/free-running split that
+// attention/fidelity.* documents:
+//   * per-layer (teacher-forced): each fp16-packed layer is evaluated on
+//     the fp32 reference trajectory, so layer errors do not compound and
+//     the worst layer is judged against the single-GEMM amplification
+//     bound u * sqrt(k_max);
+//   * end-to-end (free-running): the compiled fp16 Engine runs the whole
+//     stack and its divergence is judged against layers x the per-layer
+//     budget (post-norm LayerNorm re-normalizes every block, so divergence
+//     compounds roughly additively).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/encoder.hpp"
+
+namespace swat::eval {
+
+/// One layer's teacher-forced comparison (fp16-packed layer vs fp32 layer,
+/// both evaluated on the fp32 trajectory).
+struct LayerPrecision {
+  double cosine = 0.0;     ///< mean row cosine vs the fp32 layer output
+  double rel_error = 0.0;  ///< Frobenius relative error, fp32 as reference
+};
+
+struct PrecisionFidelityResult {
+  std::vector<LayerPrecision> per_layer;  ///< teacher-forced, one per layer
+  double worst_layer_rel_error = 0.0;
+  double worst_layer_cosine = 1.0;
+  /// Free-running fp16 Engine::run output vs the fp32 Encoder::forward
+  /// oracle on the same input.
+  double end_to_end_rel_error = 0.0;
+  double end_to_end_cosine = 1.0;
+  /// The calibrated budgets the measurements are judged against
+  /// (calib::kFp16LayerRelErrBudget; layers x kFp16EndToEndRelErrPerLayer).
+  double layer_budget = 0.0;
+  double end_to_end_budget = 0.0;
+  /// Every layer and the end-to-end run fit their rel-error budget AND the
+  /// cosine floor derived from it (calib::fp16_cosine_floor).
+  bool within_budget = false;
+};
+
+/// Build two encoders from `cfg` differing ONLY in pack_dtype (fp32
+/// reference, fp16 method; same weight_seed, so the fp32 master weights are
+/// bit-identical and the comparison isolates panel rounding), run both over
+/// a random-normal input of `seq_len` tokens, and score per-layer and
+/// end-to-end fidelity against the calibrated budget. `cfg.pack_dtype` is
+/// overwritten on both sides; every other field is used as given.
+PrecisionFidelityResult precision_fidelity(model::EncoderConfig cfg,
+                                           std::int64_t seq_len,
+                                           std::uint64_t input_seed);
+
+}  // namespace swat::eval

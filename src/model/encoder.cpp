@@ -39,6 +39,11 @@ void EncoderConfig::validate() const {
   if (layers < 1) {
     fail("layers must be >= 1, got " + std::to_string(layers));
   }
+  if (pack_dtype != Dtype::kFp32 && pack_dtype != Dtype::kFp16) {
+    fail("pack_dtype must be Dtype::kFp32 or Dtype::kFp16, got enum value " +
+         std::to_string(static_cast<int>(pack_dtype)) +
+         " — the packed GEMM streams fp32 or fp16 panels only");
+  }
   if (swat.head_dim != d_model / num_heads) {
     fail("swat.head_dim (" + std::to_string(swat.head_dim) +
          ") must equal d_model / num_heads (" +
@@ -87,10 +92,11 @@ std::size_t EncoderArena::capacity_floats() const {
 }
 
 EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
-    : mha_(cfg.d_model, cfg.num_heads, cfg.backend, cfg.swat, rng),
+    : mha_(cfg.d_model, cfg.num_heads, cfg.backend, cfg.swat, rng,
+           cfg.pack_dtype),
       norm1_(cfg.d_model),
-      ffn1_(cfg.d_model, cfg.d_model * cfg.ffn_mult, rng),
-      ffn2_(cfg.d_model * cfg.ffn_mult, cfg.d_model, rng),
+      ffn1_(cfg.d_model, cfg.d_model * cfg.ffn_mult, rng, cfg.pack_dtype),
+      ffn2_(cfg.d_model * cfg.ffn_mult, cfg.d_model, rng, cfg.pack_dtype),
       norm2_(cfg.d_model) {}
 
 MatrixF EncoderLayer::forward(const MatrixF& x) const {

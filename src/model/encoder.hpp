@@ -20,16 +20,22 @@ struct EncoderConfig {
   AttentionBackend backend = AttentionBackend::kWindowExact;
   SwatConfig swat;  ///< attention pattern + datapath parameters
   std::uint64_t weight_seed = 1;
+  /// Element type of the packed weight panels every Linear in the stack
+  /// streams (master weights stay fp32; fp16 rounds once at pack time).
+  /// kFp32 (the default) keeps full oracle bit-parity; kFp16 halves the
+  /// streamed weight bytes and is gated by the precision-fidelity budget.
+  Dtype pack_dtype = Dtype::kFp32;
 
   /// Longformer-base geometry on the paper's standard SWAT build.
   static EncoderConfig longformer_base(AttentionBackend backend);
 
   /// Reject inconsistent geometries with actionable messages
   /// (std::invalid_argument): positive d_model/num_heads with
-  /// d_model % num_heads == 0, ffn_mult >= 1, layers >= 1, and
-  /// swat.head_dim == d_model / num_heads (plus SwatConfig::validate()),
-  /// so a bad config fails at construction/compile time, not rows deep
-  /// into a forward pass. Called by Encoder and Engine::compile.
+  /// d_model % num_heads == 0, ffn_mult >= 1, layers >= 1, a known
+  /// pack_dtype, and swat.head_dim == d_model / num_heads (plus
+  /// SwatConfig::validate()), so a bad config fails at
+  /// construction/compile time, not rows deep into a forward pass. Called
+  /// by Encoder and Engine::compile.
   void validate() const;
 };
 

@@ -6,9 +6,11 @@
 
 namespace swat::model {
 
-Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               Dtype pack_dtype)
     : weight_(out_features, in_features),
-      bias_(static_cast<std::size_t>(out_features), 0.0f) {
+      bias_(static_cast<std::size_t>(out_features), 0.0f),
+      pack_dtype_(pack_dtype) {
   SWAT_EXPECTS(in_features > 0 && out_features > 0);
   const double bound =
       std::sqrt(6.0 / static_cast<double>(in_features + out_features));
@@ -29,7 +31,7 @@ const PackedWeight& Linear::packed_weight() const {
     // pack is shared with another Linear (share_pack_with), that copy
     // stays valid and untouched — only this layer moves to the new one.
     auto fresh = std::make_shared<PackedWeight>();
-    pack_weight_nt(weight_, *fresh);
+    pack_weight_nt(weight_, *fresh, pack_dtype_);
     packed_ = std::move(fresh);
     packed_dirty_ = false;
   }
@@ -40,6 +42,8 @@ void Linear::share_pack_with(const Linear& proto) {
   SWAT_EXPECTS(&proto != this);
   SWAT_EXPECTS(proto.in_features() == in_features() &&
                proto.out_features() == out_features());
+  SWAT_EXPECTS(proto.pack_dtype() == pack_dtype_ &&
+               "shared weight pack dtype must match the adopting layer");
   proto.packed_weight();  // ensure the prototype's pack exists and is fresh
   packed_ = proto.packed_;
   packed_dirty_ = false;

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "common/dtype.hpp"
 #include "common/rng.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
@@ -19,7 +20,11 @@ namespace swat::model {
 class Linear {
  public:
   /// Construct with Xavier/Glorot-uniform weights and zero bias.
-  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+  /// `pack_dtype` selects the element type of the packed panels the GEMM
+  /// microkernel streams (the master weights stay fp32 — fp16 rounding
+  /// happens once at pack time, see tensor/kernels.hpp).
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         Dtype pack_dtype = Dtype::kFp32);
 
   /// Y = X W^T + b for X: batch x in_features.
   MatrixF forward(const MatrixF& x) const;
@@ -65,7 +70,9 @@ class Linear {
 
   /// Adopt `proto`'s packed panels instead of building our own — the
   /// replica pool's opt-in shared read-only pack. Preconditions: identical
-  /// in/out features. The shared pack is immutable by construction:
+  /// in/out features and pack dtype (a replica streaming panels of a
+  /// different precision than it was configured for would silently change
+  /// its numerics). The shared pack is immutable by construction:
   /// weight() mutation on either side detaches into a fresh private pack
   /// on the next packed_weight() (copy-on-write), never writes through the
   /// shared pointer. Packs `proto` first if it was still stale.
@@ -74,6 +81,9 @@ class Linear {
   /// True when this layer streams another layer's pack (introspection for
   /// footprint accounting and tests).
   bool pack_is_shared() const { return packed_ && packed_.use_count() > 1; }
+
+  /// The element type this layer packs (and expects shared packs) in.
+  Dtype pack_dtype() const { return pack_dtype_; }
 
   /// Parameter count (weights + biases).
   std::int64_t parameters() const {
@@ -93,6 +103,7 @@ class Linear {
   // instance.
   mutable std::shared_ptr<const PackedWeight> packed_;
   mutable bool packed_dirty_ = true;
+  Dtype pack_dtype_ = Dtype::kFp32;
 };
 
 }  // namespace swat::model

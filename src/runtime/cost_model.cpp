@@ -1,11 +1,35 @@
 #include "runtime/cost_model.hpp"
 
+#include "eval/calibration.hpp"
+#include "tensor/kernels.hpp"
+
 namespace swat {
+
+namespace {
+
+/// One full sweep of the stack's packed panels, from geometry alone: per
+/// layer, four d_model x d_model projections plus the two FFN halves —
+/// the same shapes Engine packs, padded the same way.
+Bytes packed_sweep_bytes(const model::EncoderConfig& cfg) {
+  const std::int64_t d = cfg.d_model;
+  const std::int64_t h = cfg.d_model * cfg.ffn_mult;
+  const std::size_t per_layer = 4 * PackedWeight::padded_elements(d, d) +
+                                PackedWeight::padded_elements(h, d) +
+                                PackedWeight::padded_elements(d, h);
+  return Bytes{static_cast<std::uint64_t>(per_layer) *
+               static_cast<std::uint64_t>(cfg.layers) *
+               dtype_bytes(cfg.pack_dtype)};
+}
+
+}  // namespace
 
 BatchCostModel::BatchCostModel(const model::EncoderConfig& cfg)
     : analytic_((cfg.validate(), cfg.swat)),
       num_heads_(static_cast<int>(cfg.num_heads)),
-      layers_(cfg.layers) {}
+      layers_(cfg.layers),
+      weight_stream_bytes_(packed_sweep_bytes(cfg)),
+      weight_stream_seconds_(static_cast<double>(weight_stream_bytes_.count) /
+                             calib::kHostWeightStreamBytesPerSec) {}
 
 Seconds BatchCostModel::request_seconds(std::int64_t seq_len) const {
   SWAT_EXPECTS(seq_len >= 1);

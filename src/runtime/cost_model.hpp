@@ -39,13 +39,26 @@ class BatchCostModel {
 
   /// The dispatch-side load estimate for a formed batch: what the replica
   /// pool charges a replica's backlog when the batch is placed on it, and
-  /// credits back when the batch retires. An alias of batch_seconds —
-  /// named separately so "predict the cost of placing this batch" has one
-  /// spelling at the dispatch call sites (Server's replica pool, work
-  /// stealing, watchdog thresholds).
+  /// credits back when the batch retires. batch_seconds plus the per-batch
+  /// weight sweep (weight_stream_seconds) — every executed batch streams
+  /// the whole packed weight set once, so the pack_dtype knob changes what
+  /// dispatch charges per batch. Named separately so "predict the cost of
+  /// placing this batch" has one spelling at the dispatch call sites
+  /// (Server's replica pool, work stealing, watchdog thresholds).
   Seconds predict(const BatchPlanEntry& entry) const {
-    return batch_seconds(entry);
+    return batch_seconds(entry) + weight_stream_seconds();
   }
+
+  /// Bytes of packed weights one executed batch streams from memory: one
+  /// full sweep of every layer's panels, priced from the encoder geometry
+  /// via PackedWeight::padded_elements x dtype_bytes(pack_dtype) — exactly
+  /// Engine::packed_weight_bytes() for a non-sharing engine of the same
+  /// config (tests assert the identity).
+  Bytes weight_stream_bytes() const { return weight_stream_bytes_; }
+
+  /// The weight sweep converted to time against the calibrated host
+  /// stream bandwidth (calib::kHostWeightStreamBytesPerSec).
+  Seconds weight_stream_seconds() const { return weight_stream_seconds_; }
 
   /// Deadline slack for a request that has already waited `waited` of its
   /// `deadline`: deadline - waited - request_seconds(seq_len). A
@@ -61,6 +74,8 @@ class BatchCostModel {
   AnalyticModel analytic_;
   int num_heads_;
   int layers_;
+  Bytes weight_stream_bytes_;
+  Seconds weight_stream_seconds_;
 };
 
 }  // namespace swat

@@ -1,6 +1,9 @@
 #include "runtime/engine.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/dtype.hpp"
 
 namespace swat {
 
@@ -27,6 +30,18 @@ Engine::Engine(model::EncoderConfig cfg, const Engine& pack_prototype)
         "Engine: shared weight pack requires an identical model "
         "(d_model/num_heads/ffn_mult/layers/weight_seed must all match the "
         "prototype engine)");
+  }
+  // Same shape and seed but different panel precision is equally unsound:
+  // the replica would silently stream panels rounded differently than its
+  // configuration promises (fp16 replica reading fp32 panels, or worse).
+  if (mine.pack_dtype != theirs.pack_dtype) {
+    throw std::invalid_argument(
+        std::string("Engine: shared weight pack requires matching "
+                    "pack_dtype (this engine wants ") +
+        std::string(dtype_name(mine.pack_dtype)) +
+        ", the prototype packed " +
+        std::string(dtype_name(theirs.pack_dtype)) +
+        ") — repack the prototype or align ServerOptions::pack_dtype");
   }
   encoder_.share_packs_with(pack_prototype.encoder_);
   packed_weight_floats_ = 0;  // footprint lives on the prototype

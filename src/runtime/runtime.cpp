@@ -37,6 +37,11 @@ std::vector<RequestResult> Runtime::run(
       results[batch.request_indices[i]] = std::move(served[i]);
     }
     ++totals_.batches;
+    // Every executed batch streams the whole resident pack once — the
+    // same per-batch pricing the async server takes from its cost model
+    // (Runtime's executor never shares a pack, so the engine's resident
+    // bytes ARE the sweep).
+    totals_.weight_stream_bytes += Bytes{executor_.packed_weight_bytes()};
   }
 
   // Totals accumulate in submission order — the order a caller naturally

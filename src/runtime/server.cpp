@@ -30,6 +30,17 @@ std::size_t shed_watermark_slots(const ServerOptions& opt) {
   return std::clamp<std::size_t>(slots, 1, opt.queue_capacity);
 }
 
+/// Applies ServerOptions::pack_dtype to the config BEFORE anything reads
+/// it (cost model and replicas alike), so the server-level knob and the
+/// model-level knob can never disagree within one pool. Mutates the
+/// ctor's by-value cfg in place and returns it; called from the member
+/// init list after opt_ is initialized (declaration order guarantees it).
+model::EncoderConfig& apply_pack_dtype(model::EncoderConfig& cfg,
+                                       const ServerOptions& opt) {
+  if (opt.pack_dtype) cfg.pack_dtype = *opt.pack_dtype;
+  return cfg;
+}
+
 }  // namespace
 
 void ServerOptions::validate() const {
@@ -95,11 +106,20 @@ void ServerOptions::validate() const {
         "admission — got " +
         std::to_string(replica_queue_depth));
   }
+  if (pack_dtype && *pack_dtype != Dtype::kFp32 &&
+      *pack_dtype != Dtype::kFp16) {
+    throw std::invalid_argument(
+        "ServerOptions: pack_dtype must be Dtype::kFp32 or Dtype::kFp16 "
+        "(or unset to inherit EncoderConfig::pack_dtype), got enum value " +
+        std::to_string(static_cast<int>(*pack_dtype)) +
+        " — the packed GEMM streams fp32 or fp16 panels only");
+  }
 }
 
 Server::Server(model::EncoderConfig cfg, ServerOptions opt)
     : opt_((opt.validate(), opt)),
-      cost_model_(std::make_unique<BatchCostModel>(cfg)),
+      cost_model_(
+          std::make_unique<BatchCostModel>(apply_pack_dtype(cfg, opt_))),
       queue_(opt.queue_capacity, opt.admission, shed_watermark_slots(opt),
              opt.bulk_aging_interval) {
   replicas_.reserve(opt_.num_replicas);
@@ -388,6 +408,14 @@ std::size_t Server::packed_weight_floats() const {
   return total;
 }
 
+std::size_t Server::packed_weight_bytes() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->executor->packed_weight_bytes();
+  }
+  return total;
+}
+
 const model::Encoder& Server::encoder() const {
   return replicas_.front()->executor->encoder();
 }
@@ -649,6 +677,7 @@ void Server::run_on_replica(std::size_t r, ReadyBatch& batch) {
     {
       std::lock_guard lock(state_mutex_);
       batch_index = totals_.batches++;
+      totals_.weight_stream_bytes += cost_model_->weight_stream_bytes();
       for (const RequestResult& res : results) {
         totals_.accumulate(res.counters);
       }

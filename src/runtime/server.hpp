@@ -122,6 +122,7 @@
 #include <vector>
 
 #include "common/concurrent_queue.hpp"
+#include "common/dtype.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/stats.hpp"
@@ -183,6 +184,16 @@ struct ServerOptions {
   /// to steal; the cost is that a claimed-ahead request can no longer be
   /// reordered by class or shed at admission.
   std::size_t replica_queue_depth = 0;
+  /// Storage dtype of the packed panel-major weights. Unset (nullopt)
+  /// inherits EncoderConfig::pack_dtype; set, it overrides the config for
+  /// every replica (and the cost model) before any engine packs, so the
+  /// server-level knob and the model-level knob can never disagree within
+  /// one pool. Dtype::kFp16 halves resident pack bytes (and the shared
+  /// pack under share_weight_pack serves N replicas from one half-size
+  /// copy); outputs stay deterministic but are no longer bit-equal to the
+  /// fp32 pack — gated by the precision-fidelity budget instead
+  /// (eval/calibration.hpp).
+  std::optional<Dtype> pack_dtype;
 
   /// Rejects inconsistent options with actionable messages
   /// (std::invalid_argument).
@@ -263,6 +274,10 @@ class Server {
   /// N x the single-engine footprint; with share_weight_pack the shared
   /// pack is counted once (sharing replicas report 0).
   std::size_t packed_weight_floats() const;
+  /// Resident packed-weight bytes across replicas (floats x
+  /// dtype_bytes(pack_dtype)): the footprint ServerOptions::pack_dtype =
+  /// Dtype::kFp16 halves, and share_weight_pack divides by N.
+  std::size_t packed_weight_bytes() const;
   const model::Encoder& encoder() const;
   const ServerOptions& options() const { return opt_; }
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <optional>
 
+#include "common/fp16.hpp"
 #include "common/thread_pool.hpp"
 
 namespace swat {
@@ -257,24 +259,43 @@ MatrixF transpose(const MatrixF& a) {
 
 // ---------------------------------------------------- packed-weight GEMM ----
 
-void pack_weight_nt(const MatrixF& w, PackedWeight& packed) {
+void pack_weight_nt(const MatrixF& w, PackedWeight& packed, Dtype dtype) {
   packed.in_features = w.cols();
   packed.out_features = w.rows();
+  packed.dtype = dtype;
   const std::int64_t k = packed.in_features;
   const std::int64_t panels = packed.panels();
+  const std::size_t total =
+      static_cast<std::size_t>(panels * k * PackedWeight::kPanel);
   // assign (not resize) so every lane — including the zero padding of the
-  // last panel — is rewritten on a repack; capacity is retained.
-  packed.data.assign(
-      static_cast<std::size_t>(panels * k * PackedWeight::kPanel), 0.0f);
+  // last panel — is rewritten on a repack; capacity is retained. The
+  // other-dtype vector is cleared (capacity kept) so floats()/bytes()
+  // report only the live pack.
+  if (dtype == Dtype::kFp16) {
+    packed.data_f16.assign(total, 0);
+    packed.data.clear();
+  } else {
+    packed.data.assign(total, 0.0f);
+    packed.data_f16.clear();
+  }
   for (std::int64_t p = 0; p < panels; ++p) {
-    float* panel =
-        packed.data.data() + static_cast<std::size_t>(p * k * PackedWeight::kPanel);
+    const std::size_t base =
+        static_cast<std::size_t>(p * k * PackedWeight::kPanel);
     const std::int64_t j0 = p * PackedWeight::kPanel;
     const std::int64_t width =
         std::min(PackedWeight::kPanel, packed.out_features - j0);
     for (std::int64_t kk = 0; kk < k; ++kk) {
       for (std::int64_t l = 0; l < width; ++l) {
-        panel[kk * PackedWeight::kPanel + l] = w(j0 + l, kk);
+        const float v = w(j0 + l, kk);
+        const std::size_t at =
+            base + static_cast<std::size_t>(kk * PackedWeight::kPanel + l);
+        if (dtype == Dtype::kFp16) {
+          // One RNE rounding per weight, once per pack — the only place
+          // the fp16 path loses precision relative to fp32.
+          packed.data_f16[at] = f32_to_f16_bits(v);
+        } else {
+          packed.data[at] = v;
+        }
       }
     }
   }
@@ -364,10 +385,65 @@ SWAT_NO_FP_CONTRACT void gemm_packed_tile(
   }
 }
 
+/// The fp16 variant of gemm_packed_tile: identical loop structure and
+/// accumulation order (single fp32 accumulator per element, ascending k),
+/// but WITHOUT the SWAT_NO_FP_CONTRACT pin. A deliberate near-duplicate
+/// rather than a shared body: GCC refuses to inline across functions with
+/// differing `optimize` attributes, and the whole point of the fp16 path
+/// is to let -march=native contract the multiply-add into FMAs — the pack
+/// already rounded the weights, so oracle bit-parity is gone and fewer
+/// roundings is strictly more accurate. The panel pointer it receives is
+/// the widened fp32 scratch copy of an fp16 panel, so results depend only
+/// on the pack contents — never on thread count or tile partition.
+template <int ROWS>
+void gemm_packed_tile_contract(const float* a, std::int64_t lda,
+                               const float* panel, std::int64_t k,
+                               const float* seed, PackedEpilogue ep,
+                               ConstMatrixView residual, MatrixView out,
+                               std::int64_t i, std::int64_t j0,
+                               std::int64_t width) {
+  float acc[ROWS][kPanel];
+  const float* ar[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    ar[r] = a + (i + r) * lda;
+    for (std::int64_t l = 0; l < kPanel; ++l) acc[r][l] = seed[l];
+  }
+  std::int64_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    const float* bp0 = panel + kk * kPanel;
+    for (int u = 0; u < 4; ++u) {
+      const float* bp = bp0 + u * kPanel;
+      for (int r = 0; r < ROWS; ++r) {
+        const float av = ar[r][kk + u];
+        for (std::int64_t l = 0; l < kPanel; ++l) acc[r][l] += av * bp[l];
+      }
+    }
+  }
+  for (; kk < k; ++kk) {
+    const float* bp = panel + kk * kPanel;
+    for (int r = 0; r < ROWS; ++r) {
+      const float av = ar[r][kk];
+      for (std::int64_t l = 0; l < kPanel; ++l) acc[r][l] += av * bp[l];
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    for (std::int64_t l = 0; l < width; ++l) {
+      out(i + r, j0 + l) = packed_finish(
+          acc[r][l], ep,
+          ep == PackedEpilogue::kResidualAdd ? residual(i + r, j0 + l)
+                                             : 0.0f);
+    }
+  }
+}
+
 /// Serial packed-GEMM over rows [i0, i1) and panels [p0, p1): full
 /// kPackedRowTile-row register tiles, then single-row tiles for the
 /// remainder (same per-element arithmetic, so the split point does not
-/// affect results).
+/// affect results). For fp16 packs, each panel is widened once into a
+/// per-thread scratch buffer (k x kPanel floats, amortized over all the
+/// task's row tiles) and the contraction-allowed tile runs on the widened
+/// copy — the decode is the only extra work, and the streamed bytes per
+/// panel halve.
 void gemm_packed_rows(ConstMatrixView a, const PackedWeight& w,
                       const float* bias, PackedEpilogue ep,
                       ConstMatrixView residual, MatrixView out,
@@ -377,9 +453,24 @@ void gemm_packed_rows(ConstMatrixView a, const PackedWeight& w,
   const std::int64_t n = w.out_features;
   const float* adata = a.data();
   const std::int64_t lda = a.stride();
+  const bool half = w.dtype == Dtype::kFp16;
+  // Scratch for one widened panel; leased per task, so after warmup the
+  // per-thread workspace serves every subsequent call allocation-free.
+  // The fp32 path takes no lease at all.
+  std::optional<WorkspaceLease> widened;
+  if (half) {
+    widened.emplace(tls_workspace(), static_cast<std::size_t>(k * kPanel));
+  }
   for (std::int64_t p = p0; p < p1; ++p) {
-    const float* panel =
-        w.data.data() + static_cast<std::size_t>(p * k * kPanel);
+    const float* panel;
+    if (half) {
+      f16_bits_to_f32_batch(
+          w.data_f16.data() + static_cast<std::size_t>(p * k * kPanel),
+          widened->data(), static_cast<std::size_t>(k * kPanel));
+      panel = widened->data();
+    } else {
+      panel = w.data.data() + static_cast<std::size_t>(p * k * kPanel);
+    }
     const std::int64_t j0 = p * kPanel;
     const std::int64_t width = std::min(kPanel, n - j0);
     // Padded lanes seed with 0 and accumulate against zero weights; they
@@ -389,13 +480,24 @@ void gemm_packed_rows(ConstMatrixView a, const PackedWeight& w,
       seed[l] = (bias != nullptr && l < width) ? bias[j0 + l] : 0.0f;
     }
     std::int64_t i = i0;
-    for (; i + kPackedRowTile <= i1; i += kPackedRowTile) {
-      gemm_packed_tile<kPackedRowTile>(adata, lda, panel, k, seed, ep,
-                                       residual, out, i, j0, width);
-    }
-    for (; i < i1; ++i) {
-      gemm_packed_tile<1>(adata, lda, panel, k, seed, ep, residual, out, i,
-                          j0, width);
+    if (half) {
+      for (; i + kPackedRowTile <= i1; i += kPackedRowTile) {
+        gemm_packed_tile_contract<kPackedRowTile>(
+            adata, lda, panel, k, seed, ep, residual, out, i, j0, width);
+      }
+      for (; i < i1; ++i) {
+        gemm_packed_tile_contract<1>(adata, lda, panel, k, seed, ep,
+                                     residual, out, i, j0, width);
+      }
+    } else {
+      for (; i + kPackedRowTile <= i1; i += kPackedRowTile) {
+        gemm_packed_tile<kPackedRowTile>(adata, lda, panel, k, seed, ep,
+                                         residual, out, i, j0, width);
+      }
+      for (; i < i1; ++i) {
+        gemm_packed_tile<1>(adata, lda, panel, k, seed, ep, residual, out, i,
+                            j0, width);
+      }
     }
   }
 }

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/dtype.hpp"
 #include "tensor/matrix.hpp"
 
 namespace swat {
@@ -135,15 +137,31 @@ MatrixF matmul_nt_naive(const MatrixF& a, const MatrixF& b);
 //   (padded lanes are computed and discarded; zero weights keep them
 //   finite).
 //
-// The microkernel accumulates every output element with a single float
-// accumulator in ascending-k order with the multiply rounded before the
-// add (SWAT_NO_FP_CONTRACT pins that even on FMA ISAs) — the exact
-// arithmetic of matmul_nt_naive's dot() — so gemm_packed output is
-// bit-identical to the scalar oracle for every shape, thread count, tile
-// partition, AND host ISA (-march=native and portable builds produce the
-// same bits). Fused epilogues (bias seed, GELU, residual add) touch each
-// output element once while it is still in a register instead of
-// re-streaming the output matrix per pass.
+// Panels store either binary32 (the default) or binary16 elements:
+//
+//  * Dtype::kFp32 — the microkernel accumulates every output element with
+//    a single float accumulator in ascending-k order with the multiply
+//    rounded before the add (SWAT_NO_FP_CONTRACT pins that even on FMA
+//    ISAs) — the exact arithmetic of matmul_nt_naive's dot() — so
+//    gemm_packed output is bit-identical to the scalar oracle for every
+//    shape, thread count, tile partition, AND host ISA (-march=native and
+//    portable builds produce the same bits).
+//  * Dtype::kFp16 — pack_weight_nt rounds each weight once (RNE) to
+//    binary16 at pack time, halving the panel bytes the microkernel
+//    streams; the kernel widens each panel back to float before the tile
+//    loop and keeps every accumulator fp32 in the same ascending-k order.
+//    Outputs are deterministic — bit-identical across SWAT_THREADS,
+//    arrival orders and runs (the tile grid is static, see parallel_for_2d)
+//    — but NOT bit-equal to the fp32 oracle (the weights were rounded) and
+//    not pinned across ISAs: having given up oracle parity, the fp16 tile
+//    drops the no-contract pin and lets FMA ISAs contract (fewer
+//    roundings, strictly tighter error). Accuracy is gated by the
+//    precision-fidelity test against the calibration budget, not by
+//    bit-equality.
+//
+// Fused epilogues (bias seed, GELU, residual add) touch each output
+// element once while it is still in a register instead of re-streaming the
+// output matrix per pass.
 struct PackedWeight {
   /// Output columns per packed panel (the microkernel's register width:
   /// 32 lanes x 6 rows of accumulators = 12 independent FMA chains on
@@ -152,25 +170,47 @@ struct PackedWeight {
 
   std::int64_t in_features = 0;   ///< k (depth of the reduction)
   std::int64_t out_features = 0;  ///< n (logical output columns)
-  std::vector<float> data;        ///< panels() blocks of in_features x kPanel
+  Dtype dtype = Dtype::kFp32;     ///< element storage type of the panels
+  std::vector<float> data;        ///< fp32 panels (empty when dtype=fp16)
+  std::vector<std::uint16_t> data_f16;  ///< fp16 panels (same layout)
 
   std::int64_t panels() const {
     return (out_features + kPanel - 1) / kPanel;
   }
-  std::size_t floats() const { return data.size(); }
-  bool empty() const { return data.empty(); }
+  /// Logical element count (padded lanes included) — identical for every
+  /// dtype, so capacity accounting that predates the dtype knob stays
+  /// meaningful. Multiply by dtype_bytes(dtype) for the real footprint.
+  std::size_t floats() const {
+    return dtype == Dtype::kFp16 ? data_f16.size() : data.size();
+  }
+  /// Actual resident panel bytes (the quantity the cost model prices).
+  std::size_t bytes() const { return floats() * dtype_bytes(dtype); }
+  bool empty() const { return data.empty() && data_f16.empty(); }
+
+  /// Padded element count for a given logical shape — what floats() will
+  /// report after packing. Exposed so the cost model can price the weight
+  /// stream from geometry alone, without holding a pack.
+  static constexpr std::size_t padded_elements(std::int64_t out_features,
+                                               std::int64_t in_features) {
+    const std::int64_t panels = (out_features + kPanel - 1) / kPanel;
+    return static_cast<std::size_t>(panels * in_features * kPanel);
+  }
 };
 
 /// Pack `w` (out_features x in_features, the Linear weight layout) into
-/// panel-major form. Reuses `packed.data`'s capacity, so repacking after a
+/// panel-major form, converting to `dtype` (RNE for fp16) element by
+/// element. Reuses the destination vector's capacity, so repacking after a
 /// weight mutation does not allocate once the shape has been seen.
-void pack_weight_nt(const MatrixF& w, PackedWeight& packed);
+void pack_weight_nt(const MatrixF& w, PackedWeight& packed,
+                    Dtype dtype = Dtype::kFp32);
 
 /// out = A * W^T [+ bias row]. A is m x in_features; out must be
 /// m x out_features and may not alias A. `bias` (length out_features, or
 /// empty) seeds the accumulators, exactly like matmul_nt_bias_into.
-/// Bit-identical to matmul_nt_naive when bias is empty. Parallelized over
-/// a 2D (row tile x column panel) grid via parallel_for_2d.
+/// Bit-identical to matmul_nt_naive when bias is empty and the pack is
+/// fp32; fp16 packs are deterministic but fidelity-gated (see above).
+/// Parallelized over a 2D (row tile x column panel) grid via
+/// parallel_for_2d.
 void gemm_packed_into(ConstMatrixView a, const PackedWeight& w,
                       std::span<const float> bias, MatrixView out);
 

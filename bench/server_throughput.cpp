@@ -92,8 +92,10 @@ struct ArmResult {
   std::int64_t batches = 0;
 };
 
-/// One (replica count, offered load) cell of the replica-scaling sweep.
+/// One (placement, replica count, offered load) cell of the
+/// replica-scaling sweep.
 struct ReplicaSweepResult {
+  std::string placement;  ///< "shared" or "partitioned"
   std::size_t replicas = 1;
   double intensity_rel = 0.0;
   std::int64_t served = 0;
@@ -403,10 +405,19 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - sweep_calib_start).count();
   const double sweep_deadline_s = std::max(0.1, 8.0 / sweep_service_rps);
 
+  // Shared vs partitioned placement, head to head at every (load,
+  // replicas) cell. goodput_speedup is normalized within each placement
+  // (vs its own 1-replica cell at that load), so the column answers "how
+  // well does THIS placement scale with replicas" — the partitioned-vs-
+  // shared goodput_per_s gap at 4 replicas is the locality win itself.
   std::vector<ReplicaSweepResult> replica_sweep;
-  for (const double rel : overload_intensities) {
-    double base_goodput = 0.0;
-    for (const std::size_t replicas : {1u, 2u, 4u}) {
+  for (const swat::PlacementPolicy placement :
+       {swat::PlacementPolicy::kShared, swat::PlacementPolicy::kPartitioned}) {
+    const char* placement_name =
+        placement == swat::PlacementPolicy::kShared ? "shared" : "partitioned";
+    for (const double rel : overload_intensities) {
+      double base_goodput = 0.0;
+      for (const std::size_t replicas : {1u, 2u, 4u}) {
       swat::Rng arrival_rng(4321 + static_cast<std::uint64_t>(rel * 1000.0));
       std::vector<double> arrival(sweep_requests.size());
       double t = 0.0;
@@ -429,6 +440,7 @@ int main(int argc, char** argv) {
       opt.num_replicas = replicas;
       opt.share_weight_pack = replicas > 1;
       opt.replica_queue_depth = 2;
+      opt.placement = placement;
       Server server(cfg, opt);
 
       std::vector<Server::Ticket> tickets(sweep_requests.size());
@@ -461,6 +473,7 @@ int main(int argc, char** argv) {
       server.drain();
 
       ReplicaSweepResult row;
+      row.placement = placement_name;
       row.replicas = replicas;
       row.intensity_rel = rel;
       row.served = served;
@@ -473,6 +486,7 @@ int main(int argc, char** argv) {
       row.bulk_p50_ms = percentile(turnaround_ms[1], 0.5);
       row.bulk_p99_ms = percentile(turnaround_ms[1], 0.99);
       replica_sweep.push_back(row);
+      }
     }
   }
 
@@ -525,7 +539,8 @@ int main(int argc, char** argv) {
       << "  \"replica_sweep\": [\n";
   for (std::size_t i = 0; i < replica_sweep.size(); ++i) {
     const ReplicaSweepResult& r = replica_sweep[i];
-    out << "    {\"replicas\": " << r.replicas
+    out << "    {\"placement\": \"" << r.placement
+        << "\", \"replicas\": " << r.replicas
         << ", \"intensity_rel\": " << r.intensity_rel
         << ", \"served\": " << r.served
         << ", \"goodput_per_s\": " << r.goodput_per_s
@@ -571,16 +586,18 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreplica-scaling sweep (%lld short requests, seq service %.1f "
       "req/s; kShedBulk, shared weight pack, singleton batches, "
-      "queue_depth 2)\n",
+      "queue_depth 2; speedup normalized within placement)\n",
       static_cast<long long>(sweep_count), sweep_service_rps);
-  std::printf("%6s %9s %6s %10s %8s %9s %9s %9s %9s\n", "load", "replicas",
-              "served", "goodput/s", "speedup", "int p50", "int p99",
-              "bulk p50", "bulk p99");
+  std::printf("%-12s %6s %9s %6s %10s %8s %9s %9s %9s %9s\n", "placement",
+              "load", "replicas", "served", "goodput/s", "speedup",
+              "int p50", "int p99", "bulk p50", "bulk p99");
   for (const ReplicaSweepResult& r : replica_sweep) {
-    std::printf("%5.1fx %9zu %6lld %10.1f %7.2fx %9.2f %9.2f %9.2f %9.2f\n",
-                r.intensity_rel, r.replicas, static_cast<long long>(r.served),
-                r.goodput_per_s, r.goodput_speedup, r.interactive_p50_ms,
-                r.interactive_p99_ms, r.bulk_p50_ms, r.bulk_p99_ms);
+    std::printf(
+        "%-12s %5.1fx %9zu %6lld %10.1f %7.2fx %9.2f %9.2f %9.2f %9.2f\n",
+        r.placement.c_str(), r.intensity_rel, r.replicas,
+        static_cast<long long>(r.served), r.goodput_per_s, r.goodput_speedup,
+        r.interactive_p50_ms, r.interactive_p99_ms, r.bulk_p50_ms,
+        r.bulk_p99_ms);
   }
   std::cout << "wrote " << out_path << "\n";
   return out ? 0 : 1;

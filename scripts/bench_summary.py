@@ -87,6 +87,27 @@ def headline_rows(name, data):
     return rows
 
 
+def placement_rows(name, data):
+    """(bench, placement, replicas, speedup) rows: best goodput_speedup per
+    placement policy, so shared vs partitioned scaling is one glance. Arms
+    from bench files that predate the placement field group under "-"."""
+    best = {}
+    for value in data.values():
+        if not (isinstance(value, list) and value
+                and all(isinstance(e, dict) for e in value)):
+            continue
+        for arm in value:
+            speedup = arm.get("goodput_speedup")
+            if not is_number(speedup):
+                continue
+            placement = arm.get("placement", "-")
+            prev = best.get(placement)
+            if prev is None or speedup > prev[0]:
+                best[placement] = (speedup, arm.get("replicas", "-"))
+    return [(name, placement, fmt(replicas), fmt(speedup))
+            for placement, (speedup, replicas) in sorted(best.items())]
+
+
 def render(files):
     benches = []
     for path in files:
@@ -100,6 +121,16 @@ def render(files):
     if headline:
         out.append(table(("bench", "arm", "metric", "value"),
                          [list(r) for r in headline]))
+        out.append("")
+
+    placement = []
+    for name, data in benches:
+        placement += placement_rows(name, data)
+    if placement:
+        out.append("## Replica scaling by placement (best goodput_speedup)")
+        out.append("")
+        out.append(table(("bench", "placement", "replicas", "speedup"),
+                         [list(r) for r in placement]))
         out.append("")
 
     for name, data in benches:

@@ -26,6 +26,12 @@
    mentioned in docs/ARCHITECTURE.md — the plan/execute split and the
    packed-weight footprint accessors (the precision knob's observable
    surface) are documented contracts too.
+7. The placement/topology surface (src/common/topology.hpp: top-level
+   types, free functions, CpuSet's public methods; plus the server's
+   placement knob and the per-replica core_group/pinned_threads stats
+   fields) must be mentioned in docs/ARCHITECTURE.md — replica placement
+   is a behavioral contract (kShared stays bit-identical, kPartitioned
+   matches solo oracles) and its docs may not drift.
 
 Exits non-zero with one line per violation.
 """
@@ -222,6 +228,33 @@ def check_engine_api_mentions(errors):
                 f"`{name}` is not documented")
 
 
+def check_topology_api_mentions(errors):
+    """topology.hpp types, free functions and CpuSet methods, plus the
+    placement surface the server exposes on top of them (the ServerOptions
+    field and the ReplicaStats fields), must be documented."""
+    header = REPO / "src" / "common" / "topology.hpp"
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not header.exists():
+        errors.append("src/common/topology.hpp is missing")
+        return
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+    header_text = header.read_text(encoding="utf-8")
+    # Top-level types + column-0 free functions (discover_topology,
+    # pin_current_thread, ...), same shape as kernels.hpp.
+    names = set(kernels_public_api(header))
+    names |= class_public_methods(header_text, "CpuSet")
+    # Placement knobs live in server.hpp/stats.hpp as plain fields, which
+    # the type/method scrapers don't see — pin them by name.
+    names |= {"placement", "core_group", "pinned_threads"}
+    for name in sorted(names):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(
+                "docs/ARCHITECTURE.md: placement/topology API "
+                f"`{name}` is not documented")
+
+
 def check_server_api_mentions(errors):
     header = REPO / "src" / "runtime" / "server.hpp"
     arch = REPO / "docs" / "ARCHITECTURE.md"
@@ -248,13 +281,14 @@ def main():
     check_kernels_api_mentions(errors)
     check_resilience_api_mentions(errors)
     check_engine_api_mentions(errors)
+    check_topology_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
               "all links resolve, architecture map covers src/, "
-              "server, kernel, engine, stats and fault-injection APIs "
-              "documented")
+              "server, kernel, engine, stats, fault-injection and "
+              "placement/topology APIs documented")
     return 1 if errors else 0
 
 

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/contracts.hpp"
@@ -13,23 +15,89 @@ namespace {
 // calls detect this and run inline instead of waiting on the pool.
 thread_local bool t_in_pool_work = false;
 
+// The thread's bound pool (ScopedPoolBinding); null = process-wide pool.
+thread_local ThreadPool* t_bound_pool = nullptr;
+
+// Rail for SWAT_THREADS: far above any sane host, low enough that an
+// overflowed or garbage value cannot ask the OS for a million threads.
+constexpr int kMaxThreadCount = 1024;
+
 int default_num_threads() {
-  if (const char* env = std::getenv("SWAT_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  const int fallback = hc == 0 ? 1 : static_cast<int>(hc);
+  std::string warning;
+  const int n =
+      parse_thread_count(std::getenv("SWAT_THREADS"), fallback, &warning);
+  // instance() constructs exactly once, so a bad SWAT_THREADS warns
+  // exactly once per process instead of per parallel_for.
+  if (!warning.empty()) {
+    std::fprintf(stderr, "swat: warning: %s\n", warning.c_str());
+  }
+  return n;
 }
 
 }  // namespace
+
+int parse_thread_count(const char* text, int fallback,
+                       std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (text == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  const char* rest = end;
+  while (*rest == ' ' || *rest == '\t') ++rest;
+  if (end == text || *rest != '\0') {
+    if (warning != nullptr) {
+      *warning = "SWAT_THREADS=\"" + std::string(text) +
+                 "\" is not a thread count — using " +
+                 std::to_string(fallback);
+    }
+    return fallback;
+  }
+  if (errno == ERANGE || value > kMaxThreadCount) {
+    if (warning != nullptr) {
+      *warning = "SWAT_THREADS=\"" + std::string(text) +
+                 "\" exceeds the " + std::to_string(kMaxThreadCount) +
+                 "-thread rail — clamped to " +
+                 std::to_string(kMaxThreadCount);
+    }
+    return kMaxThreadCount;
+  }
+  if (value < 1) {
+    if (warning != nullptr) {
+      *warning = "SWAT_THREADS=\"" + std::string(text) +
+                 "\" must be >= 1 — clamped to 1 (everything inline)";
+    }
+    return 1;
+  }
+  return static_cast<int>(value);
+}
 
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool(default_num_threads());
   return pool;
 }
 
-ThreadPool::ThreadPool(int n) { start_workers(n); }
+ThreadPool& current_pool() {
+  return t_bound_pool != nullptr ? *t_bound_pool : ThreadPool::instance();
+}
+
+ScopedPoolBinding::ScopedPoolBinding(ThreadPool* pool) {
+  if (pool == nullptr) return;  // no-op binding: keep the current routing
+  prev_ = t_bound_pool;
+  t_bound_pool = pool;
+  active_ = true;
+}
+
+ScopedPoolBinding::~ScopedPoolBinding() {
+  if (active_) t_bound_pool = prev_;
+}
+
+ThreadPool::ThreadPool(int n, CpuSet affinity)
+    : affinity_(std::move(affinity)) {
+  start_workers(n);
+}
 
 ThreadPool::~ThreadPool() { stop_workers(); }
 
@@ -37,9 +105,18 @@ void ThreadPool::start_workers(int n) {
   SWAT_EXPECTS(n >= 1);
   num_threads_ = n;
   stopping_ = false;
+  pinned_workers_.store(0, std::memory_order_relaxed);
   workers_.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 0; i < n - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] {
+      // Group-level pinning: every worker may run on any CPU of the
+      // pool's set — the set (one replica's core group) is the locality
+      // unit. Failures are counted, never fatal.
+      if (pin_current_thread(affinity_)) {
+        pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+      }
+      worker_loop();
+    });
   }
 }
 

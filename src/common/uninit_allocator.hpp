@@ -1,0 +1,55 @@
+// An allocator adaptor that default-initializes instead of
+// value-initializing (src/common/uninit_allocator).
+//
+// `std::vector<T>::resize` value-initializes new elements — for
+// trivial T that is a memset over the whole allocation, and on Linux
+// that write is the *first touch* that binds each page to the NUMA
+// node of whichever thread performed it. The packed-weight buffers
+// want the opposite: allocate without touching, then let the
+// parallel pack loop perform the first write of every element on the
+// thread (and therefore the node) that will later read it. Wrapping
+// the element type's allocator with DefaultInitAllocator makes
+// resize() default-initialize, which for trivial types is a no-op —
+// pages stay untouched until the pack fill writes them.
+//
+// The pack loop writes every element of the buffer exactly once
+// (values and padding both), so skipping the zero-fill does not leak
+// indeterminate values into results.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace swat {
+
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  // Plain `new (p) U` instead of the base allocator's
+  // value-initializing `new (p) U()`: trivial types are left
+  // uninitialized (and their pages untouched).
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  // Constructions with arguments keep the base allocator's behavior.
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace swat

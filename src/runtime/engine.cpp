@@ -12,12 +12,18 @@ namespace swat {
 // Weights are packed here, eagerly: an Engine exists to serve, and packing
 // at construction (rather than lazily on the first forward) keeps the
 // first request as allocation-free as the thousandth.
-Engine::Engine(model::EncoderConfig cfg)
-    : encoder_(std::move(cfg)),
-      packed_weight_floats_(encoder_.pack_weights()) {}
+Engine::Engine(model::EncoderConfig cfg, ThreadPool* pool)
+    : encoder_(std::move(cfg)), pool_(pool) {
+  // Pack on this engine's pool: with a pinned per-replica pool the pack
+  // fill is the first touch of every panel page, binding the private
+  // PackedWeight to the replica's NUMA node.
+  ScopedPoolBinding bind(pool_);
+  packed_weight_floats_ = encoder_.pack_weights();
+}
 
-Engine::Engine(model::EncoderConfig cfg, const Engine& pack_prototype)
-    : encoder_(std::move(cfg)) {
+Engine::Engine(model::EncoderConfig cfg, const Engine& pack_prototype,
+               ThreadPool* pool)
+    : encoder_(std::move(cfg)), pool_(pool) {
   const model::EncoderConfig& mine = encoder_.config();
   const model::EncoderConfig& theirs = pack_prototype.encoder_.config();
   // Sharing panels is only sound when the weights are bit-identical —
@@ -80,6 +86,10 @@ const MatrixF& Engine::run(ExecutionPlan& plan, const MatrixF& packed,
                "plan was minted for a different encoder geometry");
   SWAT_EXPECTS(packed.rows() <= plan.max_tokens_ &&
                "packed batch exceeds the plan's compiled high-water shape");
+  // Route every kernel fan-out of this run to the engine's pool (no-op
+  // binding when pool_ is null): how one replica's work stays on that
+  // replica's pinned core group without any kernel call site knowing.
+  ScopedPoolBinding bind(pool_);
   return encoder_.forward_batch_into(packed, offsets, stats, plan.arena_);
 }
 

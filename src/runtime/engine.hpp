@@ -39,6 +39,7 @@
 #include <span>
 
 #include "common/dtype.hpp"
+#include "common/thread_pool.hpp"
 #include "model/encoder.hpp"
 
 namespace swat {
@@ -82,8 +83,15 @@ class Engine {
  public:
   /// An engine with weights but no default plan — for callers that size
   /// plans themselves (the serving runtime mints one per bucket shape).
-  /// Validates `cfg` like compile().
-  explicit Engine(model::EncoderConfig cfg);
+  /// Validates `cfg` like compile(). When `pool` is non-null, every
+  /// parallel fan-out this engine issues — weight packing at construction
+  /// and every kernel inside run() — dispatches to that pool instead of
+  /// the process-wide one (via ScopedPoolBinding; results are
+  /// bit-identical either way). Partitioned placement hands each replica
+  /// engine its replica's pinned pool, so packing's first-touch lands the
+  /// private PackedWeight pages on the replica's NUMA node. The pool must
+  /// outlive the engine; nullptr keeps today's global-pool behavior.
+  explicit Engine(model::EncoderConfig cfg, ThreadPool* pool = nullptr);
 
   /// An engine that builds its own weights but adopts `pack_prototype`'s
   /// packed panel-major weight pack instead of packing a private copy —
@@ -93,8 +101,14 @@ class Engine {
   /// / layers / weight_seed; throws std::invalid_argument otherwise), so
   /// sharing panels cannot change results. packed_weight_floats() reports
   /// 0 for a sharing engine — the footprint is attributed to the
-  /// prototype, which must outlive every run() on this engine.
-  Engine(model::EncoderConfig cfg, const Engine& pack_prototype);
+  /// prototype, which must outlive every run() on this engine. `pool` is
+  /// the same knob as the packing constructor's; note a sharing engine
+  /// reads the PROTOTYPE's pack, so under partitioned placement sharing
+  /// trades one replica-local copy per replica for cross-node reads of
+  /// the single prototype pack (the share_weight_pack memory-vs-locality
+  /// tradeoff, documented in docs/ARCHITECTURE.md).
+  Engine(model::EncoderConfig cfg, const Engine& pack_prototype,
+         ThreadPool* pool = nullptr);
 
   /// Compile an engine: validate `cfg`, build the encoder weights, and
   /// bind the default plan for packed batches of up to `max_tokens` rows.
@@ -141,6 +155,7 @@ class Engine {
   model::Encoder encoder_;
   ExecutionPlan plan_;          ///< default plan, bound at compile()
   std::size_t packed_weight_floats_ = 0;
+  ThreadPool* pool_ = nullptr;  ///< bound around pack + run; null = global
 };
 
 }  // namespace swat

@@ -70,14 +70,16 @@ std::size_t PlanCache::plan_arena_floats() const {
   return total;
 }
 
-BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching)
-    : engine_(std::move(cfg)),
+BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
+                             ThreadPool* pool)
+    : engine_(std::move(cfg), pool),
       batching_((batching.validate(), batching)),
       cache_(engine_, batching.bucket_width, batching.max_batch_tokens) {}
 
 BatchExecutor::BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
-                             const BatchExecutor& pack_prototype)
-    : engine_(std::move(cfg), pack_prototype.engine_),
+                             const BatchExecutor& pack_prototype,
+                             ThreadPool* pool)
+    : engine_(std::move(cfg), pack_prototype.engine_, pool),
       batching_((batching.validate(), batching)),
       cache_(engine_, batching.bucket_width, batching.max_batch_tokens) {}
 

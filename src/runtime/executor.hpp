@@ -154,17 +154,24 @@ class PlanCache {
 /// per-request outputs and counters.
 class BatchExecutor {
  public:
-  /// Validates the config (via Engine) and the batching options.
-  BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching);
+  /// Validates the config (via Engine) and the batching options. `pool`
+  /// is forwarded to the Engine: non-null routes weight packing and every
+  /// batch's kernels onto that pool (the per-replica pinned pool under
+  /// partitioned placement; results bit-identical either way). The pool
+  /// must outlive the executor; nullptr = the process-wide pool.
+  BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
+                ThreadPool* pool = nullptr);
 
   /// An executor whose engine adopts `pack_prototype`'s packed weight pack
   /// instead of building a private copy (the replica pool's opt-in shared
   /// read-only pack; see Engine's prototype constructor for the identity
   /// requirements). The prototype must outlive this executor;
   /// packed_weight_floats() reports 0 here, the footprint being the
-  /// prototype's.
+  /// prototype's. `pool` as above — but note execution reads the
+  /// prototype's pack, wherever its pages live.
   BatchExecutor(model::EncoderConfig cfg, BatchingOptions batching,
-                const BatchExecutor& pack_prototype);
+                const BatchExecutor& pack_prototype,
+                ThreadPool* pool = nullptr);
 
   /// Execute one formed batch. `inputs[i]` is the request packed at entry
   /// slot i (rows [entry.offsets[i], entry.offsets[i+1]) — its row count

@@ -122,17 +122,46 @@ Server::Server(model::EncoderConfig cfg, ServerOptions opt)
           std::make_unique<BatchCostModel>(apply_pack_dtype(cfg, opt_))),
       queue_(opt.queue_capacity, opt.admission, shed_watermark_slots(opt),
              opt.bulk_aging_interval) {
+  // Partitioned placement: carve the allowed cpuset (online ∩ process
+  // affinity ∩ SWAT_CPUSET) into one locality-ordered core group per
+  // replica. An empty partition (more replicas than allowed CPUs) means
+  // the host cannot give every replica at least one core — fall back
+  // wholesale to shared placement rather than oversubscribe.
+  std::vector<CpuSet> groups;
+  if (opt_.placement == PlacementPolicy::kPartitioned) {
+    groups = discover_topology().partition(opt_.num_replicas);
+  }
   replicas_.reserve(opt_.num_replicas);
   for (std::size_t r = 0; r < opt_.num_replicas; ++r) {
     auto replica = std::make_unique<Replica>();
+    if (!groups.empty()) {
+      replica->core_group = groups[r];
+      // The pool never needs more threads than its group has CPUs, nor
+      // more than the global SWAT_THREADS budget.
+      replica->pool = std::make_unique<ThreadPool>(
+          std::min(replica->core_group.count(), swat::num_threads()),
+          replica->core_group);
+    }
+    // First-touch: pin the constructing thread to the replica's group for
+    // the executor build so the inline share of the pack fill (and the
+    // serial parts — plan arenas bind lazily, but weights pack eagerly)
+    // first-touches pages on the replica's node too. Restored after.
+    const CpuSet saved = replica->pool != nullptr
+                             ? current_thread_affinity()
+                             : CpuSet{};
+    const bool repinned =
+        replica->pool != nullptr && pin_current_thread(replica->core_group);
     if (r == 0 || !opt_.share_weight_pack) {
-      replica->executor = std::make_unique<BatchExecutor>(cfg, opt_.batching);
+      replica->executor = std::make_unique<BatchExecutor>(
+          cfg, opt_.batching, replica->pool.get());
     } else {
       // Replica 0 is the pack prototype: replicas 1..N-1 stream its
       // read-only panels instead of packing private copies.
       replica->executor = std::make_unique<BatchExecutor>(
-          cfg, opt_.batching, *replicas_.front()->executor);
+          cfg, opt_.batching, *replicas_.front()->executor,
+          replica->pool.get());
     }
+    if (repinned && !saved.empty()) pin_current_thread(saved);
     replicas_.push_back(std::move(replica));
   }
   replica_stats_.resize(opt_.num_replicas);
@@ -320,9 +349,18 @@ ServerStats Server::stats() const {
   }
   // The stall counters live on the replicas as atomics (the watchdog
   // bumps them without the ledger lock); overlay them onto the snapshot.
+  // Placement fields ride the same overlay: core_group is immutable
+  // after construction, pinned_threads is an atomic the pool and the
+  // worker bump as their pin calls land.
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     stats.replicas[r].watchdog_stalls =
         replicas_[r]->stalls.load(std::memory_order_relaxed);
+    stats.replicas[r].core_group = replicas_[r]->core_group.to_string();
+    stats.replicas[r].pinned_threads =
+        replicas_[r]->pinned_threads.load(std::memory_order_relaxed) +
+        (replicas_[r]->pool != nullptr
+             ? replicas_[r]->pool->pinned_workers()
+             : 0);
   }
   stats.queue_depth = queue_.size();
   stats.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
@@ -585,6 +623,14 @@ void Server::dispatch_batch(BatchPlanEntry entry,
 }
 
 void Server::replica_loop(std::size_t r) {
+  // Partitioned placement: the worker itself joins the replica's core
+  // group — it is the caller thread of every parallel_for the replica's
+  // engine issues, so leaving it roaming would leak one thread's worth
+  // of compute off the partition.
+  Replica& self = *replicas_[r];
+  if (self.pool != nullptr && pin_current_thread(self.core_group)) {
+    self.pinned_threads.fetch_add(1, std::memory_order_relaxed);
+  }
   for (;;) {
     std::optional<ReadyBatch> batch = next_batch(r);
     if (!batch) return;

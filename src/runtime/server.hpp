@@ -123,11 +123,27 @@
 
 #include "common/concurrent_queue.hpp"
 #include "common/dtype.hpp"
+#include "common/topology.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/stats.hpp"
 
 namespace swat {
+
+/// Where replica compute runs (ServerOptions::placement).
+enum class PlacementPolicy {
+  /// Every replica's kernels fan out on the process-wide ThreadPool —
+  /// exactly the pre-placement behavior, bit- and behavior-identical.
+  kShared,
+  /// Carve the allowed cpuset (topology discovery ∩ process affinity ∩
+  /// SWAT_CPUSET) into one contiguous, locality-ordered core group per
+  /// replica; each replica gets its own ThreadPool pinned to its group,
+  /// packs its weights on it (first-touch NUMA placement), and runs its
+  /// batches on it. Falls back to kShared when there are fewer allowed
+  /// CPUs than replicas. Results are bit-identical to kShared — the pool
+  /// partition never changes any reduction order.
+  kPartitioned,
+};
 
 struct ServerOptions {
   BatchingOptions batching;
@@ -184,6 +200,14 @@ struct ServerOptions {
   /// to steal; the cost is that a claimed-ahead request can no longer be
   /// reordered by class or shed at admission.
   std::size_t replica_queue_depth = 0;
+  /// Execution placement of the replica pool. kShared (default) keeps
+  /// every replica on the process-wide thread pool; kPartitioned gives
+  /// each replica a pinned per-core-group pool and replica-local weight
+  /// packs (see PlacementPolicy). Interacts with share_weight_pack: a
+  /// shared pack under kPartitioned lives on replica 0's NUMA node and
+  /// is read cross-node by the others — the memory-vs-locality tradeoff
+  /// (docs/ARCHITECTURE.md "Placement & affinity").
+  PlacementPolicy placement = PlacementPolicy::kShared;
   /// Storage dtype of the packed panel-major weights. Unset (nullopt)
   /// inherits EncoderConfig::pack_dtype; set, it overrides the config for
   /// every replica (and the cost model) before any engine packs, so the
@@ -302,8 +326,19 @@ class Server {
   /// One engine replica. Fields are grouped by the lock that guards them;
   /// the three domains are never held together.
   struct Replica {
+    // Immutable after construction. `pool` is declared before `executor`
+    // so destruction tears the executor down first — an engine never
+    // outlives the pool its runs are bound to. Null pool / empty
+    // core_group = shared placement.
+    std::unique_ptr<ThreadPool> pool;  ///< pinned pool (kPartitioned only)
+    CpuSet core_group;                 ///< the CPUs `pool` pins to
     std::unique_ptr<BatchExecutor> executor;
     std::thread worker;
+    /// This replica's worker thread pinning itself at the top of
+    /// replica_loop (0 or 1). stats() adds the pool's own
+    /// pinned_workers() count on top when mirroring into ReplicaStats,
+    /// so late-arriving pin confirmations are never undercounted.
+    std::atomic<int> pinned_threads{0};
 
     // --- guarded by pool_mutex_ ---
     std::deque<ReadyBatch> queue;  ///< dispatched, not yet claimed

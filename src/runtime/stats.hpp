@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -105,6 +106,13 @@ struct ReplicaStats {
   std::int64_t batches = 0;          ///< batches this replica executed
   std::int64_t batches_stolen = 0;   ///< batches claimed from another queue
   std::int64_t watchdog_stalls = 0;  ///< stall episodes on this replica
+  /// The CPUs this replica is pinned to, in canonical cpulist form
+  /// ("0-3,8"); empty under shared placement (no per-replica pinning).
+  std::string core_group;
+  /// Threads successfully pinned to core_group: the replica pool's
+  /// workers plus the replica's own worker thread. 0 under shared
+  /// placement and on hosts without affinity support.
+  int pinned_threads = 0;
   /// True once the replica died (its worker thread exited on an injected
   /// or real failure); a quarantined replica takes no further batches.
   bool quarantined = false;

@@ -267,38 +267,60 @@ void pack_weight_nt(const MatrixF& w, PackedWeight& packed, Dtype dtype) {
   const std::int64_t panels = packed.panels();
   const std::size_t total =
       static_cast<std::size_t>(panels * k * PackedWeight::kPanel);
-  // assign (not resize) so every lane — including the zero padding of the
-  // last panel — is rewritten on a repack; capacity is retained. The
-  // other-dtype vector is cleared (capacity kept) so floats()/bytes()
-  // report only the live pack.
+  // resize (default-init, DefaultInitAllocator — pages stay untouched)
+  // rather than assign: the panel loop below writes EVERY element of the
+  // live pack, padding lanes included, so the parallel fill is both the
+  // complete initialization and the first touch of each page. Under
+  // partitioned placement the pack runs on the replica's pinned pool, so
+  // first-touch binds the pack's pages to that replica's NUMA node.
+  // Capacity is retained across repacks; the other-dtype vector is
+  // cleared (capacity kept) so floats()/bytes() report only the live
+  // pack.
   if (dtype == Dtype::kFp16) {
-    packed.data_f16.assign(total, 0);
+    packed.data_f16.resize(total);
     packed.data.clear();
   } else {
-    packed.data.assign(total, 0.0f);
+    packed.data.resize(total);
     packed.data_f16.clear();
   }
-  for (std::int64_t p = 0; p < panels; ++p) {
-    const std::size_t base =
-        static_cast<std::size_t>(p * k * PackedWeight::kPanel);
-    const std::int64_t j0 = p * PackedWeight::kPanel;
-    const std::int64_t width =
-        std::min(PackedWeight::kPanel, packed.out_features - j0);
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      for (std::int64_t l = 0; l < width; ++l) {
-        const float v = w(j0 + l, kk);
-        const std::size_t at =
-            base + static_cast<std::size_t>(kk * PackedWeight::kPanel + l);
-        if (dtype == Dtype::kFp16) {
-          // One RNE rounding per weight, once per pack — the only place
-          // the fp16 path loses precision relative to fp32.
-          packed.data_f16[at] = f32_to_f16_bits(v);
-        } else {
-          packed.data[at] = v;
+  // Parallel over whole panels: panels are disjoint slabs, and each
+  // element (values and the last panel's zero padding alike) is written
+  // exactly once by exactly one thread, so the result is bit-identical
+  // for any thread count or chunk partition.
+  parallel_for(0, panels, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::size_t base =
+          static_cast<std::size_t>(p * k * PackedWeight::kPanel);
+      const std::int64_t j0 = p * PackedWeight::kPanel;
+      const std::int64_t width =
+          std::min(PackedWeight::kPanel, packed.out_features - j0);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        for (std::int64_t l = 0; l < width; ++l) {
+          const float v = w(j0 + l, kk);
+          const std::size_t at =
+              base + static_cast<std::size_t>(kk * PackedWeight::kPanel + l);
+          if (dtype == Dtype::kFp16) {
+            // One RNE rounding per weight, once per pack — the only place
+            // the fp16 path loses precision relative to fp32.
+            packed.data_f16[at] = f32_to_f16_bits(v);
+          } else {
+            packed.data[at] = v;
+          }
+        }
+        // Zero the padded lanes of the last panel explicitly — resize no
+        // longer does it, and the microkernel reads all kPanel lanes.
+        for (std::int64_t l = width; l < PackedWeight::kPanel; ++l) {
+          const std::size_t at =
+              base + static_cast<std::size_t>(kk * PackedWeight::kPanel + l);
+          if (dtype == Dtype::kFp16) {
+            packed.data_f16[at] = 0;
+          } else {
+            packed.data[at] = 0.0f;
+          }
         }
       }
     }
-  }
+  });
 }
 
 namespace {

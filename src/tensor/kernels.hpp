@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/dtype.hpp"
+#include "common/uninit_allocator.hpp"
 #include "tensor/matrix.hpp"
 
 namespace swat {
@@ -168,11 +169,21 @@ struct PackedWeight {
   /// 512-bit SIMD, enough to hide the FMA latency).
   static constexpr std::int64_t kPanel = 32;
 
+  // Panel storage skips value-initialization (DefaultInitAllocator) so
+  // resize() leaves pages untouched and the parallel pack fill performs
+  // the first write of every element — on Linux that first touch binds
+  // each page to the writing thread's NUMA node, which is what makes a
+  // per-replica pack land on the replica's node under partitioned
+  // placement. pack_weight_nt writes every element (values and padding)
+  // exactly once, so nothing is ever read uninitialized.
+  template <typename T>
+  using Buffer = std::vector<T, DefaultInitAllocator<T>>;
+
   std::int64_t in_features = 0;   ///< k (depth of the reduction)
   std::int64_t out_features = 0;  ///< n (logical output columns)
   Dtype dtype = Dtype::kFp32;     ///< element storage type of the panels
-  std::vector<float> data;        ///< fp32 panels (empty when dtype=fp16)
-  std::vector<std::uint16_t> data_f16;  ///< fp16 panels (same layout)
+  Buffer<float> data;             ///< fp32 panels (empty when dtype=fp16)
+  Buffer<std::uint16_t> data_f16;  ///< fp16 panels (same layout)
 
   std::int64_t panels() const {
     return (out_features + kPanel - 1) / kPanel;

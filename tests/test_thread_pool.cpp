@@ -167,6 +167,39 @@ TEST(ThreadPool, SetNumThreadsReconfigures) {
   EXPECT_THROW(set_num_threads(0), std::invalid_argument);
 }
 
+TEST(ThreadPool, SetNumThreadsDuringParallelForIsRejected) {
+  // Resizing the pool tears the worker set down; doing that under an
+  // in-flight parallel_for would strand its caller. The contract is
+  // enforced, not just documented: the resize throws, the running
+  // parallel_for completes untouched.
+  ThreadPool pool(2);
+  std::atomic<bool> body_running{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> resize_rejected{false};
+  std::thread resizer([&] {
+    while (!body_running.load()) std::this_thread::yield();
+    EXPECT_THROW(pool.set_num_threads(4), std::invalid_argument);
+    resize_rejected.store(true);
+    release.store(true);
+  });
+  std::atomic<std::int64_t> covered{0};
+  parallel_for(pool, 0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    body_running.store(true);
+    while (!release.load()) std::this_thread::yield();
+    covered.fetch_add(e - b);
+  });
+  resizer.join();
+  EXPECT_TRUE(resize_rejected.load());
+  EXPECT_EQ(covered.load(), 64);
+  // The pool survived the rejected resize and still works.
+  EXPECT_EQ(pool.num_threads(), 2);
+  std::atomic<std::int64_t> after{0};
+  parallel_for(pool, 0, 32, 1, [&](std::int64_t b, std::int64_t e) {
+    after.fetch_add(e - b);
+  });
+  EXPECT_EQ(after.load(), 32);
+}
+
 TEST(Determinism, BlockedMatmulIdenticalAcrossThreadCounts) {
   Rng rng(21);
   const MatrixF a = random_normal(130, 70, rng);

@@ -133,11 +133,23 @@ struct BenchRow {
   /// resident pack). Lets the summary derive the effective weight-stream
   /// GB/s — the bandwidth the pack dtype halves.
   double weight_bytes = 0;
+  /// K/V band-tile bytes streamed per invocation (0 for non-attention
+  /// kernels): fused_window_kv_stream_bytes at the arm's stream dtype, so
+  /// the fp16 arm reports half the fp32 arm's bytes for the same shape.
+  double kv_bytes = 0;
+  /// The same band priced at fp32 width regardless of stream dtype — the
+  /// logical K/V elements the kernel delivers. kv_gbps_1t divides THIS by
+  /// time (the standard effective-bandwidth convention: compressing the
+  /// stream shows up as a higher effective rate only when it buys time),
+  /// so fp16/fp32 kv_gbps_1t is exactly the wall-time ratio the acceptance
+  /// gate reads.
+  double kv_eff_bytes = 0;
 
   double gflops(double s) const { return flops / s / 1e9; }
   double weight_gbps(double s) const {
     return s > 0 ? weight_bytes / s / 1e9 : 0;
   }
+  double kv_gbps(double s) const { return s > 0 ? kv_eff_bytes / s / 1e9 : 0; }
 };
 
 bool emit_json(const std::vector<BenchRow>& rows, const std::string& path,
@@ -159,6 +171,8 @@ bool emit_json(const std::vector<BenchRow>& rows, const std::string& path,
         << "\"speedup_mt\": " << r.naive_s / r.blocked_mt_s << ", "
         << "\"weight_bytes\": " << r.weight_bytes << ", "
         << "\"weight_gbps_1t\": " << r.weight_gbps(r.blocked_1t_s) << ", "
+        << "\"kv_bytes\": " << r.kv_bytes << ", "
+        << "\"kv_gbps_1t\": " << r.kv_gbps(r.blocked_1t_s) << ", "
         << "\"max_abs_diff\": " << r.max_abs_diff << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -403,7 +417,42 @@ int main(int argc, char** argv) {
     // fused kernel is numerically close to, not bitwise equal to, the
     // stable-softmax baseline.
     r.max_abs_diff = swat::max_abs_diff(concat_fused, concat_base);
+    r.kv_bytes = static_cast<double>(swat::attn::fused_window_kv_stream_bytes(
+        fa_n, fa_heads, fa_h, before, after, swat::Dtype::kFp32));
+    r.kv_eff_bytes = r.kv_bytes;
     rows.push_back(r);
+
+    // The half-precision streamed tiles on the same shape, against the
+    // fp32 stream they replace (explicitly named baseline): half the K/V
+    // tile bytes, fp32 scores/accumulation throughout. The acceptance
+    // gate wants >= 1.2x effective K/V bandwidth at one thread — both
+    // arms' kv_gbps_1t price the band at fp32 width, so the gate is
+    // exactly speedup_1t (the fp32/fp16 wall-time ratio) >= 1.2x; on the
+    // native build the fp16 worker earns it with in-register vcvtph2ps
+    // widening and libmvec's vectorized exp pass.
+    swat::MatrixF concat_f16(fa_n, fa_d);
+    BenchRow h;
+    h.name = "fused_attention_f16stream_n" + std::to_string(fa_n) + "_w" +
+             std::to_string(before) + "_h" + std::to_string(fa_h);
+    h.baseline = "fused_attention_f32stream";
+    h.flops = r.flops;
+    h.kv_bytes = static_cast<double>(swat::attn::fused_window_kv_stream_bytes(
+        fa_n, fa_heads, fa_h, before, after, swat::Dtype::kFp16));
+    h.kv_eff_bytes = r.kv_eff_bytes;
+    const auto fused_f16 = [&] {
+      swat::attn::fused_window_attention_batch_into(
+          q, k, v, offsets, fa_heads, before, after, scale, concat_f16,
+          swat::Dtype::kFp16);
+    };
+    swat::set_num_threads(1);
+    h.naive_s = best_time(reps, fused);
+    h.blocked_1t_s = best_time(reps, fused_f16);
+    swat::set_num_threads(pool_threads);
+    h.blocked_mt_s = best_time(reps, fused_f16);
+    // fp16 rounds each K/V tile element once; the diff against the fp32
+    // stream is the fidelity-budgeted rounding, not an implementation bug.
+    h.max_abs_diff = swat::max_abs_diff(concat_f16, concat_fused);
+    rows.push_back(h);
   }
 
   const bool json_ok = emit_json(rows, out_path, pool_threads);

@@ -28,10 +28,17 @@
    surface) are documented contracts too.
 7. The placement/topology surface (src/common/topology.hpp: top-level
    types, free functions, CpuSet's public methods; plus the server's
-   placement knob and the per-replica core_group/pinned_threads stats
-   fields) must be mentioned in docs/ARCHITECTURE.md — replica placement
-   is a behavioral contract (kShared stays bit-identical, kPartitioned
-   matches solo oracles) and its docs may not drift.
+   placement/shared_pack_placement/stream_dtype knobs, Topology's
+   node_cpus/node_of helpers, and the per-replica
+   core_group/pinned_threads/pack_node stats fields) must be mentioned in
+   docs/ARCHITECTURE.md — replica placement is a behavioral contract
+   (kShared stays bit-identical, kPartitioned matches solo oracles) and
+   its docs may not drift.
+8. The fused attention surface (src/attention/fused.hpp: every top-level
+   type and every free function declared at namespace scope) must be
+   mentioned in docs/ARCHITECTURE.md — the streamed-tile kernel and its
+   kv-stream pricing helper are the serving hot path's attention
+   contract.
 
 Exits non-zero with one line per violation.
 """
@@ -245,13 +252,35 @@ def check_topology_api_mentions(errors):
     # pin_current_thread, ...), same shape as kernels.hpp.
     names = set(kernels_public_api(header))
     names |= class_public_methods(header_text, "CpuSet")
-    # Placement knobs live in server.hpp/stats.hpp as plain fields, which
-    # the type/method scrapers don't see — pin them by name.
-    names |= {"placement", "core_group", "pinned_threads"}
+    # Placement knobs live in server.hpp/stats.hpp as plain fields (and
+    # node_cpus/node_of as Topology struct methods), which the type/method
+    # scrapers don't see — pin them by name.
+    names |= {"placement", "core_group", "pinned_threads",
+              "stream_dtype", "shared_pack_placement", "pack_node",
+              "node_cpus", "node_of"}
     for name in sorted(names):
         if not re.search(rf"\b{re.escape(name)}\b", text):
             errors.append(
                 "docs/ARCHITECTURE.md: placement/topology API "
+                f"`{name}` is not documented")
+
+
+def check_fused_api_mentions(errors):
+    """fused.hpp top-level types + namespace-scope free functions must be
+    documented — same scrape shape as kernels.hpp (declarations start at
+    column 0, names on the same line as the '(')."""
+    header = REPO / "src" / "attention" / "fused.hpp"
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not header.exists():
+        errors.append("src/attention/fused.hpp is missing")
+        return
+    if not arch.exists():
+        return  # reported by check_architecture_mentions
+    text = arch.read_text(encoding="utf-8")
+    for name in kernels_public_api(header):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(
+                "docs/ARCHITECTURE.md: fused.hpp public API "
                 f"`{name}` is not documented")
 
 
@@ -282,13 +311,14 @@ def main():
     check_resilience_api_mentions(errors)
     check_engine_api_mentions(errors)
     check_topology_api_mentions(errors)
+    check_fused_api_mentions(errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if not errors:
         print(f"docs OK: {len(doc_files())} files checked, "
               "all links resolve, architecture map covers src/, "
-              "server, kernel, engine, stats, fault-injection and "
-              "placement/topology APIs documented")
+              "server, kernel, engine, stats, fault-injection, "
+              "placement/topology and fused-attention APIs documented")
     return 1 if errors else 0
 
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "attention/reference.hpp"
+#include "common/dtype.hpp"
 #include "common/fp16.hpp"
 
 namespace swat::attn {
@@ -55,13 +56,40 @@ MatrixF fused_window_attention(const HeadInput& in,
 /// inside that range; for adversarial magnitudes use the
 /// kWindowExact backend (stable softmax) or fused_window_attention_online
 /// (running max) instead.
+///
+/// `stream_dtype` selects the streamed-tile precision (the paper's
+/// datapath is natively fp16, §4 / Table 2):
+///   * Dtype::kFp32 (default) — byte-identical to the historical path;
+///   * Dtype::kFp16 — the per-thread transposed K tile and V band are
+///     narrowed to binary16 once per (sequence, head, tile) via the SIMD
+///     RNE converters, halving the K/V bytes the score and S'V stages
+///     stream; scores, exp/denominator and the Z accumulator stay fp32 in
+///     ascending index order, so outputs remain bit-identical across
+///     thread counts, arrival orders and replica counts — but differ from
+///     the fp32 oracle by the tile rounding, which eval/stream_fidelity
+///     budgets and tests/test_stream_precision gates.
 void fused_window_attention_batch_into(ConstMatrixView q, ConstMatrixView k,
                                        ConstMatrixView v,
                                        std::span<const std::int64_t> offsets,
                                        std::int64_t num_heads,
                                        std::int64_t window_before,
                                        std::int64_t window_after, float scale,
-                                       MatrixView out);
+                                       MatrixView out,
+                                       Dtype stream_dtype = Dtype::kFp32);
+
+/// Bytes of K/V tile data the fused kernel's score + S'V stages stream for
+/// one sequence of `seq_len` rows: every row reads its clipped band
+/// ([i - window_before, i + window_after] ∩ [0, n)) from both the K tile
+/// and the V band, head_dim elements each, per head, at
+/// dtype_bytes(stream_dtype) per element. Closed form (no O(n) loop), used
+/// by BatchCostModel to price the activation stream next to the weight
+/// stream and by the microbench to report effective K/V bandwidth.
+std::int64_t fused_window_kv_stream_bytes(std::int64_t seq_len,
+                                          std::int64_t num_heads,
+                                          std::int64_t head_dim,
+                                          std::int64_t window_before,
+                                          std::int64_t window_after,
+                                          Dtype stream_dtype);
 
 MatrixF fused_window_attention_online(const HeadInput& in,
                                       std::int64_t window_radius);

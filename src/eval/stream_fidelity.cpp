@@ -1,0 +1,97 @@
+#include "eval/stream_fidelity.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "attention/fused.hpp"
+#include "common/rng.hpp"
+#include "eval/calibration.hpp"
+#include "runtime/engine.hpp"
+#include "tensor/kernels.hpp"
+
+namespace swat::eval {
+
+StreamFidelityResult stream_fidelity(model::EncoderConfig cfg,
+                                     std::int64_t seq_len,
+                                     std::uint64_t input_seed) {
+  SWAT_EXPECTS(cfg.backend == model::AttentionBackend::kFusedStreaming);
+  cfg.stream_dtype = Dtype::kFp32;
+  cfg.validate();
+
+  StreamFidelityResult result;
+  result.head_budget = calib::kFp16StreamHeadRelErrBudget;
+  result.end_to_end_budget =
+      static_cast<double>(cfg.layers) * calib::kFp16StreamEndToEndRelErrPerLayer;
+
+  const std::int64_t h = cfg.d_model / cfg.num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(h));
+  const std::array<std::int64_t, 2> offsets{0, seq_len};
+
+  // Kernel-level sweep: identical random-normal Q/K/V through the fp32 and
+  // fp16 streamed-tile paths, judged head slice by head slice — every
+  // measured delta is tile rounding, nothing else.
+  {
+    Rng rng(input_seed);
+    const MatrixF q = random_normal(seq_len, cfg.d_model, rng);
+    const MatrixF k = random_normal(seq_len, cfg.d_model, rng);
+    const MatrixF v = random_normal(seq_len, cfg.d_model, rng);
+    MatrixF out_ref(seq_len, cfg.d_model, 0.0f);
+    MatrixF out_half(seq_len, cfg.d_model, 0.0f);
+    attn::fused_window_attention_batch_into(
+        q, k, v, offsets, cfg.num_heads, cfg.swat.window_before(),
+        cfg.swat.window_after(), scale, out_ref, Dtype::kFp32);
+    attn::fused_window_attention_batch_into(
+        q, k, v, offsets, cfg.num_heads, cfg.swat.window_before(),
+        cfg.swat.window_after(), scale, out_half, Dtype::kFp16);
+
+    result.per_head.reserve(static_cast<std::size_t>(cfg.num_heads));
+    MatrixF slice_ref(seq_len, h);
+    MatrixF slice_half(seq_len, h);
+    for (std::int64_t head = 0; head < cfg.num_heads; ++head) {
+      const std::int64_t base = head * h;
+      for (std::int64_t i = 0; i < seq_len; ++i) {
+        for (std::int64_t d = 0; d < h; ++d) {
+          slice_ref(i, d) = out_ref(i, base + d);
+          slice_half(i, d) = out_half(i, base + d);
+        }
+      }
+      HeadStreamPrecision one;
+      one.cosine = mean_row_cosine(slice_half, slice_ref);
+      one.rel_error = relative_error(slice_half, slice_ref);
+      result.worst_head_rel_error =
+          std::max(result.worst_head_rel_error, one.rel_error);
+      result.worst_head_cosine =
+          std::min(result.worst_head_cosine, one.cosine);
+      result.per_head.push_back(one);
+    }
+  }
+
+  // Free-running end to end: two encoders differing ONLY in stream_dtype
+  // (same weight_seed, so the fp32 master weights and packs are
+  // bit-identical). The compiled fp16-streaming engine — the path serving
+  // actually runs — against the fp32-streaming oracle.
+  {
+    model::EncoderConfig half_cfg = cfg;
+    half_cfg.stream_dtype = Dtype::kFp16;
+    const model::Encoder reference(cfg);
+    Rng rng(input_seed + 1);
+    const MatrixF input = random_normal(seq_len, cfg.d_model, rng);
+    Engine engine = Engine::compile(half_cfg, seq_len);
+    const MatrixF& out_half = engine.run(input, offsets);
+    const MatrixF out_ref = reference.forward(input);
+    result.end_to_end_rel_error = relative_error(out_half, out_ref);
+    result.end_to_end_cosine = mean_row_cosine(out_half, out_ref);
+  }
+
+  result.within_budget =
+      result.worst_head_rel_error <= result.head_budget &&
+      result.worst_head_cosine >=
+          calib::fp16_cosine_floor(result.head_budget) &&
+      result.end_to_end_rel_error <= result.end_to_end_budget &&
+      result.end_to_end_cosine >=
+          calib::fp16_cosine_floor(result.end_to_end_budget);
+  return result;
+}
+
+}  // namespace swat::eval

@@ -1,0 +1,71 @@
+// Stream-fidelity harness for half-precision streamed attention tiles.
+//
+// The fp16 stream (EncoderConfig::stream_dtype = Dtype::kFp16) trades
+// oracle bit-parity for halved K/V tile bytes in the fused attention
+// kernel: the per-thread transposed K tile and V band absorb one binary16
+// rounding per tile, while scores, the exp/denominator pass and the Z
+// accumulator stay fp32 in ascending order. Outputs stay deterministic
+// (bit-identical across SWAT_THREADS, arrival orders, replica counts and
+// batch compositions) but differ from the fp32 fused oracle by a bounded
+// rounding perturbation. This harness measures that perturbation the same
+// way precision_fidelity.* measures pack rounding — cosine and Frobenius
+// relative error against the fp32 reference — and compares it to the
+// calibrated budget (calib::kFp16StreamHeadRelErrBudget and friends),
+// which tests/test_stream_precision enforces as a gate.
+//
+// Two comparisons, mirroring precision_fidelity's teacher-forced /
+// free-running split:
+//   * per-head (kernel-level): fused_window_attention_batch_into with
+//     stream_dtype = kFp16 vs kFp32 on identical random Q/K/V, judged
+//     head slice by head slice against the single-row amplification bound
+//     u * kFp16StreamAmplification;
+//   * end-to-end (free-running): the compiled fp16-streaming Engine runs
+//     the whole stack and its divergence from the fp32-streaming Encoder
+//     oracle is judged against layers x the per-layer budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/encoder.hpp"
+
+namespace swat::eval {
+
+/// One head's kernel-level comparison (fp16 streamed tiles vs the fp32
+/// fused path, identical inputs).
+struct HeadStreamPrecision {
+  double cosine = 0.0;     ///< mean row cosine vs the fp32 head output
+  double rel_error = 0.0;  ///< Frobenius relative error, fp32 as reference
+};
+
+struct StreamFidelityResult {
+  std::vector<HeadStreamPrecision> per_head;  ///< kernel-level, one per head
+  double worst_head_rel_error = 0.0;
+  double worst_head_cosine = 1.0;
+  /// Free-running fp16-streaming Engine::run output vs the fp32-streaming
+  /// Encoder::forward oracle on the same input.
+  double end_to_end_rel_error = 0.0;
+  double end_to_end_cosine = 1.0;
+  /// The calibrated budgets the measurements are judged against
+  /// (calib::kFp16StreamHeadRelErrBudget;
+  /// layers x kFp16StreamEndToEndRelErrPerLayer).
+  double head_budget = 0.0;
+  double end_to_end_budget = 0.0;
+  /// Every head and the end-to-end run fit their rel-error budget AND the
+  /// cosine floor derived from it (calib::fp16_cosine_floor).
+  bool within_budget = false;
+};
+
+/// Run the fused kernel over random-normal Q/K/V of `seq_len` tokens with
+/// fp32 and fp16 streamed tiles and score each head slice, then build two
+/// encoders from `cfg` differing ONLY in stream_dtype (fp32 reference,
+/// fp16 method; same weight_seed, so the comparison isolates tile
+/// rounding), run both over a random-normal input, and score end-to-end
+/// fidelity against the calibrated budget. `cfg.backend` must be
+/// kFusedStreaming (the only backend with a stream_dtype knob);
+/// `cfg.stream_dtype` is overwritten on both sides.
+StreamFidelityResult stream_fidelity(model::EncoderConfig cfg,
+                                     std::int64_t seq_len,
+                                     std::uint64_t input_seed);
+
+}  // namespace swat::eval

@@ -34,9 +34,9 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
                                        std::int64_t num_heads,
                                        AttentionBackend backend,
                                        SwatConfig swat_cfg, Rng& rng,
-                                       Dtype pack_dtype)
+                                       Dtype pack_dtype, Dtype stream_dtype)
     : d_model_(d_model), num_heads_(num_heads), backend_(backend),
-      swat_cfg_(std::move(swat_cfg)),
+      stream_dtype_(stream_dtype), swat_cfg_(std::move(swat_cfg)),
       wq_(d_model, d_model, rng, pack_dtype),
       wk_(d_model, d_model, rng, pack_dtype),
       wv_(d_model, d_model, rng, pack_dtype),
@@ -50,6 +50,10 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
   SWAT_EXPECTS(backend_ != AttentionBackend::kFusedStreaming ||
                (swat_cfg_.global_cores == 0 && swat_cfg_.random_cores == 0 &&
                 swat_cfg_.window_dilation == 1));
+  // Only the fused streaming kernel has a streamed-tile dtype knob; the
+  // other backends compute in fp32 and must say so.
+  SWAT_EXPECTS(stream_dtype_ == Dtype::kFp32 ||
+               backend_ == AttentionBackend::kFusedStreaming);
   if (backend_ == AttentionBackend::kSwatSimulator) {
     sim_.emplace(swat_cfg_);
   }
@@ -70,6 +74,11 @@ void MultiHeadAttention::share_packs_with(const MultiHeadAttention& proto) {
   wk_.share_pack_with(proto.wk_);
   wv_.share_pack_with(proto.wv_);
   wo_.share_pack_with(proto.wo_);
+}
+
+bool MultiHeadAttention::packs_equal(const MultiHeadAttention& other) const {
+  return wq_.pack_equals(other.wq_) && wk_.pack_equals(other.wk_) &&
+         wv_.pack_equals(other.wv_) && wo_.pack_equals(other.wo_);
 }
 
 void MultiHeadAttention::attend_one_head_into(const attn::HeadInput& head,
@@ -244,7 +253,7 @@ void MultiHeadAttention::forward_batch_into(
       // scratch is O(window x head_dim).
       attn::fused_window_attention_batch_into(
           q, k, v, offsets, num_heads_, swat_cfg_.window_before(),
-          swat_cfg_.window_after(), scale, concat);
+          swat_cfg_.window_after(), scale, concat, stream_dtype_);
     } else {
       // Host backends: each (sequence, head) task slices into the
       // worker's thread-local staging, attends into the worker's

@@ -44,6 +44,18 @@ void EncoderConfig::validate() const {
          std::to_string(static_cast<int>(pack_dtype)) +
          " — the packed GEMM streams fp32 or fp16 panels only");
   }
+  if (stream_dtype != Dtype::kFp32 && stream_dtype != Dtype::kFp16) {
+    fail("stream_dtype must be Dtype::kFp32 or Dtype::kFp16, got enum "
+         "value " + std::to_string(static_cast<int>(stream_dtype)) +
+         " — the fused attention kernel streams fp32 or fp16 K/V tiles "
+         "only");
+  }
+  if (stream_dtype == Dtype::kFp16 &&
+      backend != AttentionBackend::kFusedStreaming) {
+    fail("stream_dtype = Dtype::kFp16 requires backend = kFusedStreaming — "
+         "only the fused streaming kernel has a half-precision tile path; "
+         "pick that backend or keep stream_dtype = Dtype::kFp32");
+  }
   if (swat.head_dim != d_model / num_heads) {
     fail("swat.head_dim (" + std::to_string(swat.head_dim) +
          ") must equal d_model / num_heads (" +
@@ -93,7 +105,7 @@ std::size_t EncoderArena::capacity_floats() const {
 
 EncoderLayer::EncoderLayer(const EncoderConfig& cfg, Rng& rng)
     : mha_(cfg.d_model, cfg.num_heads, cfg.backend, cfg.swat, rng,
-           cfg.pack_dtype),
+           cfg.pack_dtype, cfg.stream_dtype),
       norm1_(cfg.d_model),
       ffn1_(cfg.d_model, cfg.d_model * cfg.ffn_mult, rng, cfg.pack_dtype),
       ffn2_(cfg.d_model * cfg.ffn_mult, cfg.d_model, rng, cfg.pack_dtype),
@@ -153,6 +165,11 @@ void EncoderLayer::share_packs_with(const EncoderLayer& proto) {
   mha_.share_packs_with(proto.mha_);
   ffn1_.share_pack_with(proto.ffn1_);
   ffn2_.share_pack_with(proto.ffn2_);
+}
+
+bool EncoderLayer::packs_equal(const EncoderLayer& other) const {
+  return mha_.packs_equal(other.mha_) && ffn1_.pack_equals(other.ffn1_) &&
+         ffn2_.pack_equals(other.ffn2_);
 }
 
 Encoder::Encoder(EncoderConfig cfg) : cfg_(std::move(cfg)) {
@@ -221,6 +238,14 @@ void Encoder::share_packs_with(const Encoder& proto) {
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     layers_[l]->share_packs_with(*proto.layers_[l]);
   }
+}
+
+bool Encoder::packs_equal(const Encoder& other) const {
+  if (layers_.size() != other.layers_.size()) return false;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (!layers_[l]->packs_equal(*other.layers_[l])) return false;
+  }
+  return true;
 }
 
 Bytes Encoder::last_swat_traffic() const {

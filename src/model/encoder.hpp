@@ -25,14 +25,23 @@ struct EncoderConfig {
   /// kFp32 (the default) keeps full oracle bit-parity; kFp16 halves the
   /// streamed weight bytes and is gated by the precision-fidelity budget.
   Dtype pack_dtype = Dtype::kFp32;
+  /// Element type of the K/V tiles the fused attention kernel streams
+  /// (kFusedStreaming only). kFp32 (the default) keeps full oracle
+  /// bit-parity; kFp16 narrows the per-thread transposed K tile and V band
+  /// to binary16 once per tile — halving the attention activation bytes —
+  /// while scores and Z accumulate in fp32 ascending order, so outputs
+  /// stay bit-deterministic and are gated by the stream-fidelity budget
+  /// (eval/stream_fidelity) instead of bit-parity.
+  Dtype stream_dtype = Dtype::kFp32;
 
   /// Longformer-base geometry on the paper's standard SWAT build.
   static EncoderConfig longformer_base(AttentionBackend backend);
 
   /// Reject inconsistent geometries with actionable messages
   /// (std::invalid_argument): positive d_model/num_heads with
-  /// d_model % num_heads == 0, ffn_mult >= 1, layers >= 1, a known
-  /// pack_dtype, and swat.head_dim == d_model / num_heads (plus
+  /// d_model % num_heads == 0, ffn_mult >= 1, layers >= 1, known
+  /// pack_dtype/stream_dtype (fp16 streaming requires the fused backend),
+  /// and swat.head_dim == d_model / num_heads (plus
   /// SwatConfig::validate()), so a bad config fails at
   /// construction/compile time, not rows deep into a forward pass. Called
   /// by Encoder and Engine::compile.
@@ -100,6 +109,10 @@ class EncoderLayer {
   /// Encoder::share_packs_with.
   void share_packs_with(const EncoderLayer& proto);
 
+  /// True when every Linear's packed panels in the layer are bit-identical
+  /// to `other`'s. See Encoder::packs_equal.
+  bool packs_equal(const EncoderLayer& other) const;
+
  private:
   MultiHeadAttention mha_;
   LayerNorm norm1_;
@@ -164,6 +177,13 @@ class Encoder {
   /// layer into a private pack (copy-on-write) — shared panels are never
   /// written through.
   void share_packs_with(const Encoder& proto);
+
+  /// True when every packed panel in the stack is bit-identical to
+  /// `other`'s, layer for layer (packing lazily as needed). The identity
+  /// the per-node replicated packs are asserted against: two encoders
+  /// built from the same config and weight_seed must compare equal no
+  /// matter which thread, pool, or striping schedule packed them.
+  bool packs_equal(const Encoder& other) const;
 
   const EncoderLayer& layer(int i) const {
     SWAT_EXPECTS(i >= 0 && i < static_cast<int>(layers_.size()));

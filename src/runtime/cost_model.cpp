@@ -1,5 +1,6 @@
 #include "runtime/cost_model.hpp"
 
+#include "attention/fused.hpp"
 #include "eval/calibration.hpp"
 #include "tensor/kernels.hpp"
 
@@ -27,9 +28,29 @@ BatchCostModel::BatchCostModel(const model::EncoderConfig& cfg)
     : analytic_((cfg.validate(), cfg.swat)),
       num_heads_(static_cast<int>(cfg.num_heads)),
       layers_(cfg.layers),
+      head_dim_(cfg.d_model / cfg.num_heads),
+      window_before_(cfg.swat.window_before()),
+      window_after_(cfg.swat.window_after()),
+      stream_dtype_(cfg.stream_dtype),
       weight_stream_bytes_(packed_sweep_bytes(cfg)),
       weight_stream_seconds_(static_cast<double>(weight_stream_bytes_.count) /
                              calib::kHostWeightStreamBytesPerSec) {}
+
+Bytes BatchCostModel::kv_stream_bytes(const BatchPlanEntry& entry) const {
+  std::int64_t per_layer = 0;
+  for (std::size_t i = 0; i + 1 < entry.offsets.size(); ++i) {
+    per_layer += attn::fused_window_kv_stream_bytes(
+        entry.offsets[i + 1] - entry.offsets[i], num_heads_, head_dim_,
+        window_before_, window_after_, stream_dtype_);
+  }
+  return Bytes{static_cast<std::uint64_t>(per_layer) *
+               static_cast<std::uint64_t>(layers_)};
+}
+
+Seconds BatchCostModel::kv_stream_seconds(const BatchPlanEntry& entry) const {
+  return Seconds{static_cast<double>(kv_stream_bytes(entry).count) /
+                 calib::kHostWeightStreamBytesPerSec};
+}
 
 Seconds BatchCostModel::request_seconds(std::int64_t seq_len) const {
   SWAT_EXPECTS(seq_len >= 1);

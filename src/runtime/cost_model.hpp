@@ -40,13 +40,16 @@ class BatchCostModel {
   /// The dispatch-side load estimate for a formed batch: what the replica
   /// pool charges a replica's backlog when the batch is placed on it, and
   /// credits back when the batch retires. batch_seconds plus the per-batch
-  /// weight sweep (weight_stream_seconds) — every executed batch streams
-  /// the whole packed weight set once, so the pack_dtype knob changes what
-  /// dispatch charges per batch. Named separately so "predict the cost of
-  /// placing this batch" has one spelling at the dispatch call sites
-  /// (Server's replica pool, work stealing, watchdog thresholds).
+  /// weight sweep (weight_stream_seconds) plus the batch's attention
+  /// activation sweep (kv_stream_seconds) — every executed batch streams
+  /// the whole packed weight set once and each sequence's K/V band tiles
+  /// once per layer, so both the pack_dtype and stream_dtype knobs change
+  /// what dispatch charges per batch. Named separately so "predict the
+  /// cost of placing this batch" has one spelling at the dispatch call
+  /// sites (Server's replica pool, work stealing, watchdog thresholds).
   Seconds predict(const BatchPlanEntry& entry) const {
-    return batch_seconds(entry) + weight_stream_seconds();
+    return batch_seconds(entry) + weight_stream_seconds() +
+           kv_stream_seconds(entry);
   }
 
   /// Bytes of packed weights one executed batch streams from memory: one
@@ -59,6 +62,18 @@ class BatchCostModel {
   /// The weight sweep converted to time against the calibrated host
   /// stream bandwidth (calib::kHostWeightStreamBytesPerSec).
   Seconds weight_stream_seconds() const { return weight_stream_seconds_; }
+
+  /// Bytes of K/V band tiles the fused attention path streams for one
+  /// executed batch: per sequence, attn::fused_window_kv_stream_bytes
+  /// (every row's clipped band read from both K and V, per head) times the
+  /// layer count, at dtype_bytes(stream_dtype) per element — the
+  /// activation-side twin of weight_stream_bytes, so stream_dtype = kFp16
+  /// halves what dispatch charges for the attention sweep.
+  Bytes kv_stream_bytes(const BatchPlanEntry& entry) const;
+
+  /// The batch's K/V sweep converted to time against the same calibrated
+  /// host stream bandwidth the weight sweep is priced at.
+  Seconds kv_stream_seconds(const BatchPlanEntry& entry) const;
 
   /// Deadline slack for a request that has already waited `waited` of its
   /// `deadline`: deadline - waited - request_seconds(seq_len). A
@@ -74,6 +89,10 @@ class BatchCostModel {
   AnalyticModel analytic_;
   int num_heads_;
   int layers_;
+  std::int64_t head_dim_;
+  std::int64_t window_before_;
+  std::int64_t window_after_;
+  Dtype stream_dtype_;
   Bytes weight_stream_bytes_;
   Seconds weight_stream_seconds_;
 };

@@ -145,6 +145,31 @@ enum class PlacementPolicy {
   kPartitioned,
 };
 
+/// Where the SHARED weight pack's pages land under partitioned placement
+/// (ServerOptions::shared_pack_placement; requires share_weight_pack and
+/// placement = kPartitioned for the non-default policies). Every policy
+/// produces bit-identical packed panels — only page placement (hence
+/// memory bandwidth locality) differs.
+enum class SharedPackPlacement {
+  /// The pack is first-touched wherever replica 0's pinned pool packs it
+  /// — all of it on replica 0's NUMA node, read cross-node by far
+  /// replicas. The default; bit- and behavior-identical to history.
+  kFirstTouch,
+  /// First-touch the shared pack's panels round-robin across the
+  /// partition's NUMA nodes (a node-striped serial fill, see
+  /// ScopedPackStriping in tensor/kernels.hpp): every replica reads a
+  /// mix of local and remote pages, spreading the pack's stream over all
+  /// nodes' memory controllers instead of saturating one. Downgrades to
+  /// kFirstTouch with a one-time warning on single-node hosts.
+  kInterleaved,
+  /// Build one read-only pack per NUMA node from the same fp32 master
+  /// weights (panels asserted bit-identical) and route every replica to
+  /// its node-local copy: N_nodes x the pack bytes for fully local
+  /// streams — the footprint/locality point between one shared pack and
+  /// N private ones. ReplicaStats::pack_node reports each replica's copy.
+  kReplicatedPerNode,
+};
+
 struct ServerOptions {
   BatchingOptions batching;
   /// Bound on requests admitted but not yet claimed by the scheduler.
@@ -218,6 +243,23 @@ struct ServerOptions {
   /// fp32 pack — gated by the precision-fidelity budget instead
   /// (eval/calibration.hpp).
   std::optional<Dtype> pack_dtype;
+  /// Streamed K/V tile dtype of the fused attention kernel. Unset
+  /// (nullopt) inherits EncoderConfig::stream_dtype; set, it overrides
+  /// the config for every replica (and the cost model's activation-stream
+  /// pricing) exactly like pack_dtype. Dtype::kFp16 halves the attention
+  /// activation bytes each batch streams; outputs stay deterministic
+  /// (bit-identical across threads, arrival orders, and replicas) but are
+  /// no longer bit-equal to the fp32 stream — gated by the
+  /// stream-fidelity budget instead (eval/stream_fidelity.hpp). Requires
+  /// the kFusedStreaming backend (EncoderConfig::validate rejects the
+  /// rest).
+  std::optional<Dtype> stream_dtype;
+  /// NUMA page placement of the shared weight pack (see
+  /// SharedPackPlacement). The non-default policies require
+  /// share_weight_pack (there is no shared pack to place otherwise) and
+  /// placement = kPartitioned (the pool must own pinned core groups to
+  /// attribute nodes); validate() rejects the combinations that don't.
+  SharedPackPlacement shared_pack_placement = SharedPackPlacement::kFirstTouch;
 
   /// Rejects inconsistent options with actionable messages
   /// (std::invalid_argument).
